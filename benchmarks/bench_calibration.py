@@ -1,0 +1,65 @@
+"""E2 — Section 4.1 calibration: the single-search cost formula.
+
+Verifies (and times) that one metered search is charged exactly
+
+    c_i + c_p * (postings processed) + c_s * |result set|
+
+and that a long-form retrieval is charged ``c_l``, reproducing the cost
+decomposition the paper calibrated on the live OpenODB ↔ Mercury link.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import ascii_table
+from repro.textsys.parser import parse_search
+
+SEARCHES = [
+    "TI='text'",
+    "TI='belief update'",
+    "AU='garcia000adv'",
+    "TI='text' and AU='garcia000adv'",
+    "TI='distributed' or TI='parallel'",
+]
+
+
+def test_single_search_cost_decomposition(scenario, benchmark):
+    client = scenario.client()
+    node = parse_search(SEARCHES[0])
+    benchmark(client.server.search, node)
+
+    rows = []
+    for expression in SEARCHES:
+        probe_client = scenario.client()
+        result = probe_client.search(expression)
+        constants = probe_client.ledger.constants
+        expected = constants.search_cost(result.postings_processed, len(result))
+        actual = probe_client.ledger.total
+        assert actual == pytest.approx(expected)
+        rows.append(
+            [
+                expression,
+                result.postings_processed,
+                len(result),
+                round(actual, 4),
+            ]
+        )
+    print()
+    print(
+        ascii_table(
+            ["search", "postings", "results", "cost (s)"],
+            rows,
+            title="E2: single-search cost = c_i + c_p*postings + c_s*|result|",
+        )
+    )
+
+
+def test_long_form_retrieval_cost(scenario):
+    client = scenario.client()
+    result = client.search("TI='text'")
+    before = client.ledger.total
+    client.retrieve(result.docids[0])
+    assert client.ledger.total - before == pytest.approx(
+        client.ledger.constants.long_form
+    )

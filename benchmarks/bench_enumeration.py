@@ -1,0 +1,91 @@
+"""E9 — Section 6's complexity claim for the modified enumerator.
+
+"In terms of optimization cost, considering probes is analogous to
+considering additional access methods.  Therefore, the asymptotic
+complexity of optimization is bounded by O(n^2 2^(n-1)), same as in the
+traditional enumeration."
+
+Assertions:
+- optimizer effort (2-way join tasks) grows no faster than the
+  O(n^2 2^(n-1)) envelope;
+- the PrL enumerator's overhead over the traditional one is a bounded
+  constant factor ("the increase in the cost of optimization must be
+  moderate").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import enumeration_report
+from repro.bench.reporting import ascii_table
+
+RELATION_COUNTS = [1, 2, 3, 4, 5]
+
+
+@pytest.fixture(scope="module")
+def report():
+    return enumeration_report(
+        RELATION_COUNTS, spaces=("traditional", "prl", "bushy")
+    )
+
+
+def test_enumeration_regenerate(benchmark, report):
+    benchmark.pedantic(
+        lambda: enumeration_report([3]), rounds=1, iterations=1
+    )
+    print()
+    rows = [
+        [
+            entry["relations"],
+            entry["space"],
+            entry["join_tasks"],
+            entry["plans_considered"],
+            entry["subsets"],
+            round(entry["seconds"] * 1000, 1),
+        ]
+        for entry in report
+    ]
+    print(
+        ascii_table(
+            ["n relations", "space", "join tasks", "plans", "subsets", "ms"],
+            rows,
+            title="E9: enumeration effort vs number of relations",
+        )
+    )
+
+
+def _tasks(report, space):
+    return {
+        entry["relations"]: entry["join_tasks"]
+        for entry in report
+        if entry["space"] == space
+    }
+
+
+def test_effort_within_complexity_envelope(report):
+    """join_tasks(n) <= C * n^2 * 2^(n-1) for a small constant C."""
+    for space in ("traditional", "prl"):
+        tasks = _tasks(report, space)
+        for n, count in tasks.items():
+            units = n + 1  # the text source is one more unit in the order
+            envelope = units * units * (2 ** (units - 1))
+            assert count <= 8 * envelope, (space, n, count, envelope)
+
+
+def test_prl_overhead_is_moderate(report):
+    """PrL costs at most a constant factor over traditional enumeration."""
+    traditional = _tasks(report, "traditional")
+    prl = _tasks(report, "prl")
+    for n in traditional:
+        assert prl[n] <= 12 * max(traditional[n], 1), (
+            n,
+            prl[n],
+            traditional[n],
+        )
+
+
+def test_effort_grows_with_relations(report):
+    tasks = _tasks(report, "prl")
+    counts = [tasks[n] for n in sorted(tasks)]
+    assert all(a < b for a, b in zip(counts, counts[1:]))

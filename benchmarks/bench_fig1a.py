@@ -1,0 +1,68 @@
+"""E4 — Figure 1(A): method costs as ``s1`` sweeps 0..1 (Q3 shape).
+
+The paper: "Figure 1(A) shows the variation in the costs of the methods
+as s1 changes from 0 to 1. ... When s1 is increased, more and more
+probes succeed and thus P1+TS sends off more and more text searches and
+becomes more expensive.  Thus P1+TS becomes more expensive and SJ+RTP is
+the optimal plan."
+
+Shape assertions:
+- P1+TS cost is monotonically increasing in s1;
+- at low s1 the probing method beats SJ+RTP, at high s1 SJ+RTP wins
+  (a crossover exists);
+- TS is essentially flat in s1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import fig1a_series
+from repro.bench.reporting import ascii_table
+
+S1_VALUES = [round(i / 20, 2) for i in range(21)]
+
+
+@pytest.fixture(scope="module")
+def series():
+    return fig1a_series(S1_VALUES)
+
+
+def test_fig1a_regenerate(benchmark, series):
+    benchmark.pedantic(lambda: fig1a_series(S1_VALUES), rounds=1, iterations=1)
+    print()
+    rows = [
+        [s1] + [round(series[name][index], 1) for name in series]
+        for index, s1 in enumerate(S1_VALUES)
+    ]
+    print(
+        ascii_table(
+            ["s1"] + list(series),
+            rows,
+            title="E4: Figure 1(A) — cost vs s1 (Q3 shape)",
+        )
+    )
+
+
+def test_p1_ts_monotone_in_s1(series):
+    costs = series["P1+TS"]
+    assert all(a <= b + 1e-9 for a, b in zip(costs, costs[1:]))
+
+
+def test_crossover_exists(series):
+    p_ts = series["P1+TS"]
+    sj = series["SJ+RTP"]
+    # P1+TS wins somewhere at low s1...
+    assert any(p < s for p, s in zip(p_ts[1:8], sj[1:8]))
+    # ...and loses at s1 = 1 (SJ+RTP is optimal at high s1).
+    assert p_ts[-1] > sj[-1]
+
+
+def test_ts_flat_in_s1(series):
+    costs = series["TS"]
+    assert max(costs) - min(costs) < 0.05 * max(costs)
+
+
+def test_probing_beats_ts_at_moderate_s1(series):
+    index = S1_VALUES.index(0.15)
+    assert series["P1+TS"][index] < series["TS"][index]

@@ -1,0 +1,70 @@
+"""E5 — Figure 1(B): method costs as ``N1/N`` sweeps (Q4 shape, s1 = 1).
+
+The paper: "For P1+TS, as N1/N increases, more probes result and all of
+them succeed (s1 is fixed at 1), and so the number of text searches
+increases.  Similarly for P1+RTP, more and more probes are sent out.
+The total number of documents matched by the probe column increases as
+N1/N increases and f_i is kept fixed.  Consequently many more documents
+are shipped to the relational side, resulting in the rise of the cost of
+P1+RTP."
+
+Shape assertions:
+- both probing methods increase with N1/N;
+- TS is flat;
+- at small N1/N, P1+RTP wins; at N1/N = 1 probing on the column is
+  pointless and P1+TS is worse than plain TS.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import fig1b_series
+from repro.bench.reporting import ascii_table
+
+RATIOS = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+
+
+@pytest.fixture(scope="module")
+def series():
+    return fig1b_series(RATIOS)
+
+
+def test_fig1b_regenerate(benchmark, series):
+    benchmark.pedantic(lambda: fig1b_series(RATIOS), rounds=1, iterations=1)
+    print()
+    rows = [
+        [ratio] + [round(series[name][index], 2) for name in series]
+        for index, ratio in enumerate(RATIOS)
+    ]
+    print(
+        ascii_table(
+            ["N1/N"] + list(series),
+            rows,
+            title="E5: Figure 1(B) — cost vs N1/N (Q4 shape, s1=1)",
+        )
+    )
+
+
+def test_probe_methods_increase_with_ratio(series):
+    for name in ("P1+TS", "P1+RTP"):
+        costs = series[name]
+        assert costs[-1] > costs[0]
+        assert all(a <= b + 1e-9 for a, b in zip(costs, costs[1:]))
+
+
+def test_ts_flat_in_ratio(series):
+    costs = series["TS"]
+    assert max(costs) - min(costs) < 1e-6
+
+
+def test_p1_rtp_wins_at_small_ratio(series):
+    assert series["P1+RTP"][0] == min(
+        series[name][0] for name in ("TS", "P1+TS", "P1+RTP", "SJ+RTP")
+    )
+
+
+def test_p1_ts_worse_than_ts_when_s1_is_one(series):
+    """With s1 = 1 every probe succeeds: probing is pure overhead."""
+    for index in range(len(RATIOS)):
+        assert series["P1+TS"][index] >= series["TS"][index] * 0.99

@@ -1,0 +1,60 @@
+"""E6 — Figure 2: TS vs P+TS winner regions over the (s1, N1/N) plane.
+
+The paper: "The number of invocations in TS is simply N, while that in
+P+TS is N1 + s1 N.  The area occupied by P+TS should thus be
+N1 + s1 N < N, or s1 < 1 - N1/N, which is approximately the area shown
+in Figure 2.  We can see that each method constitutes about half of the
+space."
+
+Shape assertions:
+- the winner at each grid point agrees with the ``s1 < 1 - N1/N``
+  boundary except in a thin band around it;
+- each method occupies a substantial fraction of the space.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import fig2_grid
+
+S1_VALUES = [round(i / 10, 2) for i in range(11)]
+RATIOS = [0.01] + [round(i / 10, 2) for i in range(1, 11)]
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return fig2_grid(S1_VALUES, RATIOS)
+
+
+def test_fig2_regenerate(benchmark, grid):
+    benchmark.pedantic(lambda: fig2_grid(S1_VALUES, RATIOS), rounds=1, iterations=1)
+    print()
+    print("E6: Figure 2 — winner at each (s1 across, N1/N down); P = P+TS")
+    header = "N1/N \\ s1 " + " ".join(f"{s1:>5}" for s1 in S1_VALUES)
+    print(header)
+    for ratio, row in zip(RATIOS, grid):
+        cells = " ".join(f"{'P' if w == 'P+TS' else 'T':>5}" for w in row)
+        print(f"{ratio:>9} {cells}")
+
+
+def test_boundary_matches_analysis(grid):
+    """Winners agree with s1 < 1 - N1/N away from the boundary band."""
+    agreements = total = 0
+    for ratio, row in zip(RATIOS, grid):
+        for s1, winner in zip(S1_VALUES, row):
+            margin = (1.0 - ratio) - s1
+            if abs(margin) < 0.15:
+                continue  # thin band around the boundary: either may win
+            total += 1
+            predicted = "P+TS" if margin > 0 else "TS"
+            if winner == predicted:
+                agreements += 1
+    assert total > 30
+    assert agreements / total > 0.9
+
+
+def test_each_method_wins_substantial_fraction(grid):
+    flat = [winner for row in grid for winner in row]
+    p_share = flat.count("P+TS") / len(flat)
+    assert 0.25 < p_share < 0.75  # "each method constitutes about half"

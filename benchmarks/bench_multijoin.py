@@ -1,0 +1,95 @@
+"""E8 — Section 6: the PrL execution space vs traditional left-deep.
+
+Two workloads:
+
+- **Q5** (Example 6.1's query): the enumerator's PrL plan must never be
+  worse than the best traditional left-deep plan (the paper's first
+  desideratum), and all spaces must return identical results.
+- **The PrL showcase** (Example 6.1's *situation*, amplified): a large
+  relation with few distinct values in its text-join column, where a
+  probe node strictly beats every left-deep plan — reducing both the
+  relational join and the foreign join, exactly the effect the paper's
+  example argues for.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import multijoin_report
+from repro.bench.reporting import ascii_table
+from repro.workload.scenarios import build_prl_scenario
+
+
+@pytest.fixture(scope="module")
+def q5_report(scenario):
+    return multijoin_report(scenario, scenario.q5())
+
+
+@pytest.fixture(scope="module")
+def showcase():
+    scenario, query = build_prl_scenario()
+    return multijoin_report(scenario, query, spaces=("traditional", "prl"))
+
+
+def _print_report(title, report):
+    print()
+    rows = [
+        [
+            entry["space"],
+            round(entry["estimated_cost"], 1),
+            round(entry["measured_cost"], 1),
+            entry["rows"],
+        ]
+        for entry in report
+    ]
+    print(
+        ascii_table(
+            ["space", "estimated (s)", "measured (s)", "rows"], rows, title=title
+        )
+    )
+    for entry in report:
+        print(f"\n[{entry['space']}]")
+        print(entry["plan"])
+
+
+def test_q5_regenerate(scenario, benchmark, q5_report):
+    benchmark.pedantic(
+        lambda: multijoin_report(scenario, scenario.q5()), rounds=1, iterations=1
+    )
+    _print_report("E8a: Q5 across execution spaces", q5_report)
+
+
+def test_q5_prl_never_worse_than_traditional(q5_report):
+    by_space = {entry["space"]: entry for entry in q5_report}
+    assert (
+        by_space["prl"]["estimated_cost"]
+        <= by_space["traditional"]["estimated_cost"] + 1e-9
+    )
+    assert (
+        by_space["extended"]["estimated_cost"]
+        <= by_space["prl"]["estimated_cost"] + 1e-9
+    )
+
+
+def test_q5_all_spaces_same_results(q5_report):
+    sizes = {entry["rows"] for entry in q5_report}
+    assert len(sizes) == 1
+
+
+def test_showcase_regenerate(benchmark, showcase):
+    def rebuild():
+        scenario, query = build_prl_scenario()
+        return multijoin_report(scenario, query, spaces=("traditional", "prl"))
+
+    benchmark.pedantic(rebuild, rounds=1, iterations=1)
+    _print_report("E8b: PrL showcase (probe node strictly wins)", showcase)
+
+
+def test_showcase_probe_plan_strictly_wins(showcase):
+    by_space = {entry["space"]: entry for entry in showcase}
+    traditional = by_space["traditional"]["measured_cost"]
+    prl = by_space["prl"]["measured_cost"]
+    assert prl < traditional * 0.6, (prl, traditional)
+    assert "Probe(" in by_space["prl"]["plan"]
+    assert "Probe(" not in by_space["traditional"]["plan"]

@@ -1,0 +1,142 @@
+"""E10 — Section 5: optimal probe-column selection (Examples 5.1/5.2,
+Theorem 5.3).
+
+Three claims are exercised analytically, exactly as the paper presents
+them:
+
+- **Example 5.1** — under an invocation-dominated model the optimal
+  single probe column is *not* necessarily the one with minimal
+  selectivity: column i beats column j when
+  ``s_i - s_j < (N_j - N_i)/N`` even if ``s_i > s_j``.
+- **Example 5.2** — under an independent (k-correlated) model a
+  two-column probe can dominate every one-column probe.
+- **Theorem 5.3** — for 1-correlated models, the bounded search over
+  probe sets of at most 2 columns finds a set as cheap as the exhaustive
+  O(2^k) search.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.bench import make_inputs
+from repro.bench.reporting import ascii_table
+from repro.core.costmodel import cost_p_ts
+from repro.core.probe_select import optimal_probe_columns
+from repro.core.query import TextJoinPredicate, TextJoinQuery
+from repro.gateway.costs import CostConstants
+
+#: Invocation-only cost model (c_p = c_s = c_l = c_a = 0), as in Ex. 5.1.
+INVOCATION_ONLY = CostConstants(
+    invocation=1.0, per_posting=0.0, short_form=0.0, long_form=0.0, rtp_per_document=0.0
+)
+
+
+def _query(columns):
+    return TextJoinQuery(
+        relation="r",
+        join_predicates=tuple(
+            TextJoinPredicate(column, "field") for column in columns
+        ),
+    )
+
+
+def test_example_51_min_selectivity_not_optimal(benchmark):
+    """Column 1 has *higher* selectivity but fewer distinct values: with
+    N_i + s_i N as the invocation count, it still wins."""
+    n = 10_000
+    inputs = make_inputs(
+        tuple_count=n,
+        stats={"r.c1": (0.01, 1.0), "r.c2": (0.005, 1.0)},
+        distinct={"r.c1": 10, "r.c2": 500},
+        constants=INVOCATION_ONLY,
+    )
+    query = _query(["r.c1", "r.c2"])
+    benchmark(optimal_probe_columns, inputs, query, "P+TS")
+
+    c1 = cost_p_ts(inputs, query, ("r.c1",)).total
+    c2 = cost_p_ts(inputs, query, ("r.c2",)).total
+    # invocations: c1 -> 10 + 0.01*10000 = 110; c2 -> 500 + 0.005*10000 = 550
+    assert c1 < c2
+    print()
+    print(
+        ascii_table(
+            ["probe column", "s_i", "N_i", "invocations"],
+            [["c1", 0.01, 10, round(c1, 1)], ["c2", 0.005, 500, round(c2, 1)]],
+            title="E10a: Example 5.1 — min-selectivity column is not optimal",
+        )
+    )
+
+
+def test_example_52_two_column_probe_dominates():
+    """With cheap multi-column distincts and independent predicates, a
+    2-column probe beats every 1-column probe (Example 5.2's setting)."""
+    n = 100_000
+    inputs = make_inputs(
+        tuple_count=n,
+        stats={
+            "r.c1": (0.005, 1.0),
+            "r.c2": (0.01, 1.0),
+            "r.c3": (0.01, 1.0),
+        },
+        distinct={"r.c1": 1000, "r.c2": 10, "r.c3": 10},
+        constants=INVOCATION_ONLY,
+        g=3,  # independent (k-correlated) joint model
+    )
+    query = _query(["r.c1", "r.c2", "r.c3"])
+
+    singles = {
+        columns: cost_p_ts(inputs, query, columns).total
+        for columns in [("r.c1",), ("r.c2",), ("r.c3",)]
+    }
+    pair = cost_p_ts(inputs, query, ("r.c2", "r.c3")).total
+    best_single = min(singles.values())
+    assert pair < best_single
+    rows = [[",".join(c.split(".")[1] for c in cols), round(cost, 1)]
+            for cols, cost in singles.items()]
+    rows.append(["c2,c3", round(pair, 1)])
+    print()
+    print(
+        ascii_table(
+            ["probe set", "cost"],
+            rows,
+            title="E10b: Example 5.2 — a 2-column probe dominates all 1-column probes",
+        )
+    )
+
+
+def test_theorem_53_bounded_search_is_lossless(benchmark):
+    """1-correlated model: searching probe sets of size <= 2 loses nothing
+    against the exhaustive O(2^k) search, over many random settings."""
+    rng = random.Random(42)
+
+    def one_round():
+        k = rng.randint(2, 5)
+        columns = [f"r.c{i}" for i in range(k)]
+        stats = {
+            column: (rng.uniform(0.001, 1.0), rng.uniform(0.1, 20.0))
+            for column in columns
+        }
+        distinct = {column: rng.randint(1, 2000) for column in columns}
+        inputs = make_inputs(
+            tuple_count=rng.randint(100, 5000),
+            stats=stats,
+            distinct=distinct,
+            g=1,
+        )
+        query = _query(columns)
+        bounded = optimal_probe_columns(inputs, query, "P+TS", exhaustive=False)
+        exhaustive = optimal_probe_columns(inputs, query, "P+TS", exhaustive=True)
+        assert bounded is not None and exhaustive is not None
+        assert bounded.estimate.total == pytest.approx(
+            exhaustive.estimate.total, rel=1e-9
+        )
+
+    def many_rounds():
+        for _ in range(50):
+            one_round()
+
+    benchmark.pedantic(many_rounds, rounds=1, iterations=1)

@@ -1,0 +1,56 @@
+"""E7 — Section 7's claim: the cost model predicts the method ranking.
+
+"We verified that our cost formulas in Section [4] correctly predict the
+optimal method for each query, using the fully correlated cost model."
+
+Assertions: for each of Q1–Q4, the cost model's predicted winner equals
+the measured winner, and the full predicted ordering is strongly rank-
+correlated with the measured ordering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ranking_report
+from repro.bench.reporting import ascii_table
+
+
+@pytest.fixture(scope="module")
+def report(scenario):
+    return ranking_report(scenario)
+
+
+def test_ranking_regenerate(scenario, benchmark, report):
+    benchmark.pedantic(lambda: ranking_report(scenario), rounds=1, iterations=1)
+    print()
+    rows = [
+        [
+            entry["query"],
+            " < ".join(entry["measured_order"]),
+            " < ".join(entry["predicted_order"]),
+            entry["winner_match"],
+            round(entry["kendall_tau"], 2),
+        ]
+        for entry in report
+    ]
+    print(
+        ascii_table(
+            ["query", "measured order", "predicted order", "winner ok", "tau"],
+            rows,
+            title="E7: cost model predicted vs measured rankings (1-correlated)",
+        )
+    )
+
+
+def test_predicted_winner_matches_measured(report):
+    for entry in report:
+        assert entry["winner_match"], (
+            f"{entry['query']}: predicted "
+            f"{entry['predicted_order'][0]}, measured {entry['measured_order'][0]}"
+        )
+
+
+def test_rank_correlation_is_strong(report):
+    for entry in report:
+        assert entry["kendall_tau"] >= 0.5, entry

@@ -1,0 +1,146 @@
+"""Scale check: the substrate at 10x the canonical corpus.
+
+Not a paper artifact — this keeps the engine honest as data grows:
+indexing throughput, search latency, and the join methods' *counter*
+scaling (invocations stay flat for RTP/SJ while TS grows linearly with
+the relation), plus the [DH91] page-read accounting at volume.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.reporting import ascii_table
+from repro.core.inputs import build_cost_inputs
+from repro.core.joinmethods import (
+    JoinContext,
+    RelationalTextProcessing,
+    SemiJoinRtp,
+    TupleSubstitution,
+)
+from repro.core.optimizer.single_join import choose_join_method
+from repro.core.query import TextJoinPredicate, TextJoinQuery, TextSelection
+from repro.gateway.client import TextClient
+from repro.relational.catalog import Catalog
+from repro.relational.schema import Schema
+from repro.relational.types import DataType
+from repro.textsys.server import BooleanTextServer
+from repro.workload.corpus import SyntheticCorpus
+from repro.workload.vocabulary import reserved_pool
+
+DOCUMENTS = 20_000
+TUPLES = 2_000
+
+
+@pytest.fixture(scope="module")
+def big_world():
+    rng = random.Random(99)
+    corpus = SyntheticCorpus(DOCUMENTS, seed=100, vocabulary_size=4000)
+    names = reserved_pool("big", 400, rng)
+    corpus.plant_pool(names, "author", selectivity=0.3, conditional_fanout=3)
+    hot_docs = corpus.plant_phrase("scalability study", "title", 120)
+    corpus.plant_pool(
+        names, "author", selectivity=0.05, conditional_fanout=1,
+        within=list(hot_docs),
+    )
+    corpus.pad_authors(per_document=2, pool_size=1500)
+
+    catalog = Catalog()
+    table = catalog.create_table(
+        "person", Schema.of(("name", DataType.VARCHAR), ("grp", DataType.VARCHAR))
+    )
+    for _ in range(TUPLES):
+        table.insert([rng.choice(names), rng.choice(("a", "b"))])
+
+    server = BooleanTextServer(corpus.build_store())
+    query = TextJoinQuery(
+        relation="person",
+        join_predicates=(TextJoinPredicate("person.name", "author"),),
+        text_selections=(TextSelection("scalability study", "title"),),
+    )
+    return catalog, server, query
+
+
+def test_index_build_at_scale(benchmark):
+    def build():
+        corpus = SyntheticCorpus(DOCUMENTS, seed=100, vocabulary_size=4000)
+        corpus.pad_authors(per_document=1, pool_size=500)
+        return BooleanTextServer(corpus.build_store())
+
+    server = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert server.document_count == DOCUMENTS
+
+
+def test_search_latency_at_scale(big_world, benchmark):
+    catalog, server, query = big_world
+    result = benchmark(server.search, "TI='scalability study'")
+    assert len(result) == 120
+
+
+def test_method_counters_scale_as_predicted(big_world, benchmark):
+    """TS invocations grow with distinct tuples; RTP and SJ stay at
+    1 and ceil(N_K/(M-1)) respectively — at 10x scale."""
+    catalog, server, query = big_world
+    rows = []
+    executions = {}
+    for method in (TupleSubstitution(), RelationalTextProcessing(), SemiJoinRtp()):
+        pages_before = server.index.pages_read
+        context = JoinContext(catalog, TextClient(server))
+        execution = method.execute(query, context)
+        executions[method.name] = execution
+        rows.append(
+            [
+                method.name,
+                execution.cost.searches,
+                execution.cost.short_documents,
+                server.index.pages_read - pages_before,
+                round(execution.cost.total, 1),
+                round(execution.wall_seconds, 3),
+            ]
+        )
+    sizes = {e.result_keys() for e in executions.values()}
+    assert len({frozenset(s) for s in sizes}) == 1
+
+    ts = executions["TS"]
+    rtp = executions["RTP"]
+    sj = executions["SJ+RTP"]
+    distinct_names = len(
+        {row["person.name"] for row in catalog.table("person").scan()}
+    )
+    assert ts.cost.searches == distinct_names
+    assert rtp.cost.searches == 1
+    assert sj.cost.searches == -(-distinct_names // (server.term_limit - 1))
+    # Wall time stays interactive even at 10x scale.
+    assert all(e.wall_seconds < 10 for e in executions.values())
+
+    benchmark.pedantic(
+        lambda: RelationalTextProcessing().execute(
+            query, JoinContext(catalog, TextClient(server))
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        ascii_table(
+            ["method", "invocations", "docs shipped", "pages read",
+             "cost (s)", "wall (s)"],
+            rows,
+            title=f"Scale: D={DOCUMENTS} documents, N={TUPLES} tuples",
+        )
+    )
+
+
+def test_optimizer_latency_at_scale(big_world, benchmark):
+    catalog, server, query = big_world
+
+    def optimize():
+        inputs = build_cost_inputs(
+            query, JoinContext(catalog, TextClient(server))
+        )
+        return choose_join_method(query, inputs)
+
+    choice = benchmark.pedantic(optimize, rounds=1, iterations=1)
+    assert choice.name in ("RTP", "SJ+RTP", "B+TS", "TS")

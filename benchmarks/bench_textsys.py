@@ -1,0 +1,51 @@
+"""Substrate microbenchmarks: the Boolean text engine itself.
+
+Not a paper artifact — these keep the text system honest: index build
+throughput, single-term lookups, conjunctive searches over long lists,
+phrase evaluation, and OR-batched semi-join searches, all on the default
+4000-document corpus.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.textsys.parser import parse_search
+from repro.textsys.query import TermQuery, and_all, or_all
+from repro.workload.corpus import SyntheticCorpus
+from repro.workload.vocabulary import reserved_pool
+import random
+
+
+def test_index_build_throughput(benchmark):
+    corpus = SyntheticCorpus(1000, seed=3)
+    store = corpus.build_store()
+    from repro.textsys.inverted_index import InvertedIndex
+
+    index = benchmark(InvertedIndex, store)
+    assert index.document_count == 1000
+
+
+def test_single_term_search(scenario, benchmark):
+    result = benchmark(scenario.server.search, "TI='text'")
+    assert len(result) == 100
+
+
+def test_conjunctive_search(scenario, benchmark):
+    node = parse_search("TI='distributed' and TI='systems'")
+    result = benchmark(scenario.server.search, node)
+    assert result.postings_processed > 0
+
+
+def test_phrase_search(scenario, benchmark):
+    result = benchmark(scenario.server.search, "TI='belief update'")
+    assert len(result) == 4
+
+
+def test_or_batched_search(scenario, benchmark):
+    rng = random.Random(5)
+    vocabulary = scenario.server.index.vocabulary("author")
+    terms = rng.sample(vocabulary, 60)
+    node = or_all([TermQuery("author", term) for term in terms])
+    result = benchmark(scenario.server.search, node)
+    assert len(result) > 0

@@ -1,0 +1,18 @@
+"""Shared fixtures for the benchmark suite.
+
+The default scenario is expensive to build (corpus indexing), so it is
+constructed once per session and shared; every benchmark takes a fresh
+metered client from it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload import build_default_scenario
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    """The canonical Table-2 scenario (seeded, deterministic)."""
+    return build_default_scenario(seed=7)

@@ -1,0 +1,133 @@
+"""The paper's motivating application: a hospital information system.
+
+Section 1 cites a hospital system "that permits physicians to access
+progress notes, medical literature, and drug formularies, in addition to
+structured data from the patient's medical record" [YA94].  This example
+builds that integration: a patient-record database joined against a
+medical-literature text source, with the optimizer choosing execution
+strategies per query.
+
+Run:  python examples/hospital_records.py
+"""
+
+import random
+
+from repro.core import (
+    JoinContext,
+    ResultShape,
+    TextJoinPredicate,
+    TextJoinQuery,
+    TextSelection,
+    build_cost_inputs,
+    choose_join_method,
+    enumerate_method_choices,
+)
+from repro.gateway import TextClient
+from repro.relational import Catalog, DataType, Schema
+from repro.relational.expressions import ColumnRef, Comparison, Literal
+from repro.textsys import BooleanTextServer
+from repro.workload import SyntheticCorpus
+
+CONDITIONS = [
+    "hypertension", "diabetes", "asthma", "migraine", "arrhythmia",
+    "pneumonia", "anemia", "glaucoma", "dermatitis", "nephritis",
+]
+DRUGS = [
+    "lisinopril", "metformin", "albuterol", "sumatriptan", "amiodarone",
+    "azithromycin", "ferrous", "latanoprost", "hydrocortisone", "prednisone",
+]
+
+
+def build_system(seed: int = 3):
+    rng = random.Random(seed)
+
+    # The medical-literature text source: titles mention conditions,
+    # abstracts mention drugs under study.
+    corpus = SyntheticCorpus(2000, seed=seed + 1)
+    studied = corpus.plant_pool(
+        CONDITIONS, "title", selectivity=0.6, conditional_fanout=8
+    )
+    corpus.plant_pool(DRUGS, "abstract", selectivity=0.5, conditional_fanout=5)
+    corpus.plant_phrase("clinical trial", "title", 60)
+    corpus.pad_authors(per_document=2)
+    store = corpus.build_store(short_fields=("title", "author", "year", "institution"))
+    server = BooleanTextServer(store)
+
+    # The patient-record database.
+    catalog = Catalog()
+    patient = catalog.create_table(
+        "patient",
+        Schema.of(
+            ("patient_id", DataType.INTEGER),
+            ("ward", DataType.VARCHAR),
+            ("condition", DataType.VARCHAR),
+            ("medication", DataType.VARCHAR),
+        ),
+    )
+    for patient_id in range(300):
+        patient.insert(
+            [
+                patient_id,
+                rng.choice(("icu", "cardiology", "general")),
+                rng.choice(CONDITIONS),
+                rng.choice(DRUGS),
+            ]
+        )
+    return catalog, server
+
+
+def main() -> None:
+    catalog, server = build_system()
+
+    # "Which clinical-trial reports discuss the condition of any ICU
+    # patient?"  One selective text selection + one join predicate.
+    literature_query = TextJoinQuery(
+        relation="patient",
+        join_predicates=(TextJoinPredicate("patient.condition", "title"),),
+        text_selections=(TextSelection("clinical trial", "title"),),
+        relation_predicate=Comparison("=", ColumnRef("patient.ward"), Literal("icu")),
+        shape=ResultShape.PAIRS,
+    )
+
+    # "Which reports discuss both a cardiology patient's condition and
+    # their medication?"  Two join predicates: probing applies.
+    drug_query = TextJoinQuery(
+        relation="patient",
+        join_predicates=(
+            TextJoinPredicate("patient.condition", "title"),
+            TextJoinPredicate("patient.medication", "abstract"),
+        ),
+        relation_predicate=Comparison(
+            "=", ColumnRef("patient.ward"), Literal("cardiology")
+        ),
+        shape=ResultShape.PAIRS,
+    )
+
+    for label, query in (
+        ("ICU conditions in clinical trials", literature_query),
+        ("cardiology condition + medication", drug_query),
+    ):
+        print(f"=== {label}")
+        context = JoinContext(catalog, TextClient(server))
+        inputs = build_cost_inputs(query, context)
+        choices = enumerate_method_choices(query, inputs)
+        for choice in choices:
+            print(f"  predicted {choice.estimate.total:9.2f}s  {choice.name}")
+        winner = choose_join_method(query, inputs)
+        execution = winner.method.execute(query, JoinContext(catalog, TextClient(server)))
+        print(
+            f"  -> executed {winner.name}: {len(execution.pairs)} matches, "
+            f"measured {execution.cost.total:.2f}s "
+            f"({execution.cost.searches} searches)"
+        )
+        for pair in execution.pairs[:5]:
+            print(
+                f"     patient {pair.row['patient.patient_id']} "
+                f"({pair.row['patient.condition']}) <- "
+                f"{pair.document.docid}: {pair.document.field('title')[:60]}"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+"""Quickstart: loose integration of a relational engine and a text system.
+
+Builds a tiny university database and a bibliographic document
+collection, then runs the same text-join query with several foreign-join
+methods — all returning identical results at very different costs — and
+finally lets the cost-based optimizer pick the method for you.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    JoinContext,
+    ResultShape,
+    SemiJoinRtp,
+    TextJoinPredicate,
+    TextJoinQuery,
+    TextSelection,
+    TupleSubstitution,
+    RelationalTextProcessing,
+    build_cost_inputs,
+    choose_join_method,
+)
+from repro.gateway import TextClient
+from repro.relational import Catalog, DataType, Schema
+from repro.relational.expressions import ColumnRef, Comparison, Literal
+from repro.textsys import BooleanTextServer, DocumentStore
+
+
+def build_system():
+    """One relation, one document collection, one metered gateway."""
+    catalog = Catalog()
+    student = catalog.create_table(
+        "student",
+        Schema.of(
+            ("name", DataType.VARCHAR),
+            ("area", DataType.VARCHAR),
+            ("year", DataType.INTEGER),
+        ),
+    )
+    student.insert_many(
+        [
+            ["radhika", "AI", 5],
+            ["gravano", "AI", 4],
+            ["kao", "databases", 2],
+            ["pham", "AI", 6],
+            ["desmedt", "theory", 3],
+        ]
+    )
+
+    store = DocumentStore(
+        ["title", "author", "abstract"], short_fields=["title", "author"]
+    )
+    store.add_record(
+        "tr-001",
+        title="Belief update in knowledge bases",
+        author="radhika ullman",
+        abstract="We study belief update operators...",
+    )
+    store.add_record(
+        "tr-002",
+        title="Querying text collections",
+        author="gravano",
+        abstract="Boolean retrieval over inverted indexes...",
+    )
+    store.add_record(
+        "tr-003",
+        title="Belief update revisited",
+        author="pham",
+        abstract="A critique of earlier belief update semantics...",
+    )
+    store.add_record(
+        "tr-004",
+        title="Unrelated systems work",
+        author="someone else",
+        abstract="Nothing to see here.",
+    )
+    server = BooleanTextServer(store)
+    return catalog, server
+
+
+def main() -> None:
+    catalog, server = build_system()
+
+    # The paper's Q1 shape: senior AI students who wrote about belief update.
+    query = TextJoinQuery(
+        relation="student",
+        join_predicates=(TextJoinPredicate("student.name", "author"),),
+        text_selections=(TextSelection("belief update", "title"),),
+        relation_predicate=Comparison("=", ColumnRef("student.area"), Literal("AI")),
+        shape=ResultShape.PAIRS,
+    )
+
+    print("Query:", query)
+    print()
+    for method in (TupleSubstitution(), RelationalTextProcessing(), SemiJoinRtp()):
+        context = JoinContext(catalog, TextClient(server))
+        execution = method.execute(query, context)
+        print(f"{method.name:8s} cost={execution.cost.total:7.3f}s "
+              f"(searches={execution.cost.searches})")
+        for pair in execution.pairs:
+            print(f"    {pair.row['student.name']}  <->  "
+                  f"{pair.document.docid}: {pair.document.field('title')}")
+        print()
+
+    # Let the optimizer choose.
+    context = JoinContext(catalog, TextClient(server))
+    inputs = build_cost_inputs(query, context)
+    choice = choose_join_method(query, inputs)
+    print(f"Optimizer picks: {choice.name} "
+          f"(predicted {choice.estimate.total:.3f}s)")
+
+
+if __name__ == "__main__":
+    main()

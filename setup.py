@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment has no ``wheel`` package, so PEP 517 editable installs
+(`pip install -e .`) cannot build a wheel; this ``setup.py`` lets pip
+fall back to the classic ``setup.py develop`` path.  All metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,89 @@
+"""repro — a full reproduction of *Join Queries with External Text
+Sources: Execution and Optimization Techniques* (Chaudhuri, Dayal, Yan;
+SIGMOD 1995).
+
+The package builds every system the paper relies on:
+
+- ``repro.relational`` — an in-memory relational engine (the OpenODB
+  stand-in);
+- ``repro.textsys`` — an inversion-based Boolean text retrieval system
+  (the CMU Mercury stand-in);
+- ``repro.gateway`` — the loose-integration access layer: metered
+  search/retrieve with the paper's calibrated cost constants, sampled
+  predicate statistics, g-correlated joint models;
+- ``repro.core`` — the contribution: the foreign-join methods (TS, RTP,
+  SJ, SJ+RTP, P+TS, P+RTP), the Section 4 cost model, optimal
+  probe-column selection, and the PrL-tree multi-join optimizer;
+- ``repro.workload`` — synthetic bibliographic corpora and university
+  databases with controllable selectivity/fanout, plus the paper's
+  canonical queries Q1–Q5;
+- ``repro.bench`` — the experiment harness regenerating every table and
+  figure.
+
+Quickstart::
+
+    from repro.workload import build_default_scenario
+    from repro.core import TupleSubstitution
+
+    scenario = build_default_scenario(seed=7)
+    execution = TupleSubstitution().execute(scenario.q1(), scenario.context())
+    print(execution.pairs[:3], execution.cost.total)
+"""
+
+from repro.core import (
+    JoinContext,
+    MethodExecution,
+    MultiJoinQuery,
+    ProbeRtp,
+    ProbeSemiJoin,
+    ProbeTupleSubstitution,
+    RelationalTextProcessing,
+    ResultShape,
+    SemiJoin,
+    SemiJoinRtp,
+    TextJoinPredicate,
+    TextJoinQuery,
+    TextSelection,
+    TupleSubstitution,
+    build_cost_inputs,
+    choose_join_method,
+    execute_plan,
+    optimize_multijoin,
+)
+from repro.gateway import CostConstants, CostLedger, TextClient
+from repro.relational import Catalog, DataType, Schema, Table
+from repro.textsys import BooleanTextServer, Document, DocumentStore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "TextJoinQuery",
+    "TextJoinPredicate",
+    "TextSelection",
+    "ResultShape",
+    "JoinContext",
+    "MethodExecution",
+    "TupleSubstitution",
+    "RelationalTextProcessing",
+    "SemiJoin",
+    "SemiJoinRtp",
+    "ProbeTupleSubstitution",
+    "ProbeRtp",
+    "ProbeSemiJoin",
+    "MultiJoinQuery",
+    "build_cost_inputs",
+    "choose_join_method",
+    "optimize_multijoin",
+    "execute_plan",
+    "CostConstants",
+    "CostLedger",
+    "TextClient",
+    "Catalog",
+    "Schema",
+    "Table",
+    "DataType",
+    "BooleanTextServer",
+    "Document",
+    "DocumentStore",
+]

@@ -1,0 +1,203 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro table2          # E3: Table 2
+    python -m repro ranking         # E7: predicted vs measured rankings
+    python -m repro figures         # E4/E5/E6: the cost-formula sweeps
+    python -m repro multijoin       # E8: PrL vs left-deep
+    python -m repro enumeration     # E9: optimizer effort vs n
+    python -m repro all             # everything above
+    python -m repro all --seed 11   # a different synthetic world
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import (
+    enumeration_report,
+    fig1a_series,
+    fig1b_series,
+    fig2_grid,
+    multijoin_report,
+    ranking_report,
+    table2_rows,
+)
+from repro.bench.reporting import ascii_table
+from repro.workload import build_default_scenario
+from repro.workload.scenarios import build_prl_scenario
+
+__all__ = ["main"]
+
+
+def _print_table2(scenario) -> None:
+    rows = []
+    for query_id, runs in table2_rows(scenario).items():
+        for run in runs:
+            rows.append(
+                [
+                    query_id,
+                    run.method,
+                    round(run.measured_cost, 2),
+                    run.predicted_cost and round(run.predicted_cost, 2),
+                    run.searches,
+                    run.results,
+                ]
+            )
+    print(
+        ascii_table(
+            ["query", "method", "measured (s)", "predicted (s)",
+             "searches", "results"],
+            rows,
+            title="E3: Table 2 — join method costs on Q1-Q4",
+        )
+    )
+
+
+def _print_ranking(scenario) -> None:
+    rows = [
+        [
+            entry["query"],
+            " < ".join(entry["measured_order"]),
+            entry["winner_match"],
+            round(entry["kendall_tau"], 2),
+        ]
+        for entry in ranking_report(scenario)
+    ]
+    print(
+        ascii_table(
+            ["query", "measured order", "winner predicted", "tau"],
+            rows,
+            title="E7: does the cost model predict the ranking?",
+        )
+    )
+
+
+def _print_figures() -> None:
+    s1_values = [round(i / 10, 2) for i in range(11)]
+    series = fig1a_series(s1_values)
+    print(
+        ascii_table(
+            ["s1"] + list(series),
+            [
+                [s1] + [round(series[name][index], 1) for name in series]
+                for index, s1 in enumerate(s1_values)
+            ],
+            title="E4: Figure 1(A) — cost vs s1 (Q3 shape)",
+        )
+    )
+    print()
+    ratios = [0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0]
+    series = fig1b_series(ratios)
+    print(
+        ascii_table(
+            ["N1/N"] + list(series),
+            [
+                [ratio] + [round(series[name][index], 2) for name in series]
+                for index, ratio in enumerate(ratios)
+            ],
+            title="E5: Figure 1(B) — cost vs N1/N (Q4 shape, s1=1)",
+        )
+    )
+    print()
+    print("E6: Figure 2 — winner per (s1 across, N1/N down); P = P+TS")
+    ratio_values = [0.01] + [round(i / 10, 2) for i in range(1, 11)]
+    grid = fig2_grid(s1_values, ratio_values)
+    print("N1/N \\ s1 " + " ".join(f"{s1:>4}" for s1 in s1_values))
+    for ratio, row in zip(ratio_values, grid):
+        cells = " ".join(f"{'P' if w == 'P+TS' else 'T':>4}" for w in row)
+        print(f"{ratio:>9} {cells}")
+
+
+def _print_multijoin(scenario) -> None:
+    for title, (target, query, spaces) in {
+        "E8a: Q5 across execution spaces": (
+            scenario, scenario.q5(), ("traditional", "prl", "extended")
+        ),
+        "E8b: PrL showcase (probe node strictly wins)": (
+            *build_prl_scenario(), ("traditional", "prl")
+        ),
+    }.items():
+        report = multijoin_report(target, query, spaces=spaces)
+        rows = [
+            [
+                entry["space"],
+                round(entry["estimated_cost"], 1),
+                round(entry["measured_cost"], 1),
+                entry["rows"],
+            ]
+            for entry in report
+        ]
+        print(ascii_table(["space", "estimated", "measured", "rows"], rows, title=title))
+        for entry in report:
+            print(f"\n[{entry['space']}]")
+            print(entry["plan"])
+        print()
+
+
+def _print_enumeration() -> None:
+    rows = [
+        [
+            entry["relations"],
+            entry["space"],
+            entry["join_tasks"],
+            entry["plans_considered"],
+            round(entry["seconds"] * 1000, 1),
+        ]
+        for entry in enumeration_report([1, 2, 3, 4, 5])
+    ]
+    print(
+        ascii_table(
+            ["n relations", "space", "join tasks", "plans", "ms"],
+            rows,
+            title="E9: enumeration effort vs number of relations",
+        )
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the experiments of 'Join Queries with "
+        "External Text Sources' (SIGMOD 1995).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["table2", "ranking", "figures", "multijoin", "enumeration", "all"],
+        help="which experiment(s) to run",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="workload seed (default 7)"
+    )
+    arguments = parser.parse_args(argv)
+
+    needs_scenario = arguments.experiment in ("table2", "ranking", "multijoin", "all")
+    scenario = build_default_scenario(seed=arguments.seed) if needs_scenario else None
+
+    ran_any = False
+    if arguments.experiment in ("table2", "all"):
+        _print_table2(scenario)
+        print()
+        ran_any = True
+    if arguments.experiment in ("ranking", "all"):
+        _print_ranking(scenario)
+        print()
+        ran_any = True
+    if arguments.experiment in ("figures", "all"):
+        _print_figures()
+        print()
+        ran_any = True
+    if arguments.experiment in ("multijoin", "all"):
+        _print_multijoin(scenario)
+        ran_any = True
+    if arguments.experiment in ("enumeration", "all"):
+        _print_enumeration()
+        ran_any = True
+    return 0 if ran_any else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""The paper's primary contribution: text-join execution and optimization.
+
+- :mod:`query` — the text-join query model;
+- :mod:`joinmethods` — TS, RTP, SJ, SJ+RTP, P+TS, P+RTP;
+- :mod:`costmodel` / :mod:`inputs` — the Section 4 cost model;
+- :mod:`probe_select` — Section 5 optimal probe columns (Theorem 5.3);
+- :mod:`optimizer` — single-join choice and the PrL-tree enumerator;
+- :mod:`executor` — runs multi-join plans end to end.
+"""
+
+from repro.core.costmodel import (
+    CostEstimate,
+    QueryCostInputs,
+    SelectionStatistics,
+    cost_p_rtp,
+    cost_p_ts,
+    cost_probe_phase,
+    cost_probe_semijoin,
+    cost_rtp,
+    cost_sj,
+    cost_sj_rtp,
+    cost_ts,
+)
+from repro.core.adaptive import (
+    AdaptiveAttempt,
+    AdaptiveExecution,
+    execute_adaptively,
+)
+from repro.core.executor import PlanExecution, execute_plan
+from repro.core.inputs import build_cost_inputs, distinct_counts_for
+from repro.core.joinmethods import (
+    BatchedTupleSubstitution,
+    JoinContext,
+    JoinMethod,
+    MethodExecution,
+    ProbeRtp,
+    cost_batched_ts,
+    ProbeSemiJoin,
+    ProbeTupleSubstitution,
+    RelationalTextProcessing,
+    SemiJoin,
+    SemiJoinRtp,
+    TupleSubstitution,
+)
+from repro.core.optimizer import (
+    MethodChoice,
+    MultiJoinQuery,
+    OptimizedPlan,
+    PlanEstimator,
+    RelationalJoinPredicate,
+    choose_join_method,
+    enumerate_method_choices,
+    optimize_multijoin,
+)
+from repro.core.probe_select import (
+    ProbeChoice,
+    candidate_probe_sets,
+    optimal_probe_columns,
+)
+from repro.core.query import (
+    JoinedPair,
+    ResultShape,
+    TextJoinPredicate,
+    TextJoinQuery,
+    TextSelection,
+)
+from repro.core.explain import explain_query
+from repro.core.surface import parse_query, render_query
+from repro.core.textmatch import TextMatch, value_matches_field
+
+__all__ = [
+    "TextJoinQuery",
+    "TextJoinPredicate",
+    "TextSelection",
+    "ResultShape",
+    "JoinedPair",
+    "JoinContext",
+    "JoinMethod",
+    "MethodExecution",
+    "TupleSubstitution",
+    "RelationalTextProcessing",
+    "SemiJoin",
+    "SemiJoinRtp",
+    "ProbeTupleSubstitution",
+    "ProbeRtp",
+    "ProbeSemiJoin",
+    "QueryCostInputs",
+    "SelectionStatistics",
+    "CostEstimate",
+    "cost_ts",
+    "cost_probe_phase",
+    "cost_p_ts",
+    "cost_rtp",
+    "cost_sj",
+    "cost_sj_rtp",
+    "cost_p_rtp",
+    "cost_probe_semijoin",
+    "build_cost_inputs",
+    "distinct_counts_for",
+    "ProbeChoice",
+    "candidate_probe_sets",
+    "optimal_probe_columns",
+    "MethodChoice",
+    "choose_join_method",
+    "enumerate_method_choices",
+    "MultiJoinQuery",
+    "RelationalJoinPredicate",
+    "PlanEstimator",
+    "OptimizedPlan",
+    "optimize_multijoin",
+    "PlanExecution",
+    "execute_plan",
+    "TextMatch",
+    "value_matches_field",
+    "BatchedTupleSubstitution",
+    "cost_batched_ts",
+    "AdaptiveAttempt",
+    "AdaptiveExecution",
+    "execute_adaptively",
+    "parse_query",
+    "render_query",
+    "explain_query",
+]

@@ -1,0 +1,115 @@
+"""Runtime re-optimization (the [CDY] guard, sketched at the end of
+Section 5, implemented).
+
+"Although probe, followed by relational text processing is an attractive
+join method, it suffers from the danger that if the selectivity and
+fanout estimates are unreliable, then too many documents are fetched.
+We rely on runtime optimization techniques to address such difficulties."
+
+:func:`execute_adaptively` runs the optimizer's ranked method choices in
+order.  Fetch-bounded methods (P+RTP) are armed with a cap derived from
+their own cost prediction (``cap = safety_factor * predicted fetch``);
+when a method aborts because reality blew past its estimate, execution
+falls back to the next-ranked method, accumulating the cost already
+spent — exactly what a runtime re-optimizer pays for a mis-estimate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.costmodel import QueryCostInputs
+from repro.core.joinmethods import JoinContext, MethodExecution, ProbeRtp
+from repro.core.optimizer.single_join import MethodChoice, enumerate_method_choices
+from repro.core.query import TextJoinQuery
+from repro.errors import JoinMethodError, OptimizationError
+
+__all__ = ["AdaptiveAttempt", "AdaptiveExecution", "execute_adaptively"]
+
+
+@dataclass(frozen=True)
+class AdaptiveAttempt:
+    """One attempted method: either completed or aborted by its guard."""
+
+    method: str
+    predicted_cost: float
+    aborted: bool
+    reason: Optional[str] = None
+
+
+@dataclass
+class AdaptiveExecution:
+    """The final execution plus the attempt trail and total cost."""
+
+    execution: MethodExecution
+    attempts: List[AdaptiveAttempt]
+    total_cost: float
+
+    @property
+    def fell_back(self) -> bool:
+        return len(self.attempts) > 1
+
+
+def _armed(choice: MethodChoice, inputs: QueryCostInputs, safety_factor: float):
+    """Arm fetch-bounded methods with a prediction-derived cap."""
+    method = choice.method
+    if isinstance(method, ProbeRtp):
+        predicted_fetch = inputs.total_documents(
+            inputs.distinct(method.probe_columns), method.probe_columns
+        )
+        cap = max(1, math.ceil(safety_factor * max(predicted_fetch, 1.0)))
+        return ProbeRtp(method.probe_columns, fetch_cap=cap)
+    return method
+
+
+def execute_adaptively(
+    query: TextJoinQuery,
+    context: JoinContext,
+    inputs: QueryCostInputs,
+    safety_factor: float = 4.0,
+) -> AdaptiveExecution:
+    """Run the ranked choices with runtime guards and fallback.
+
+    ``safety_factor`` scales each guarded method's predicted document
+    fetch into its runtime cap; 4x tolerates ordinary estimation noise
+    while still catching order-of-magnitude misestimates.
+    """
+    if safety_factor <= 0:
+        raise OptimizationError("safety_factor must be positive")
+    choices = enumerate_method_choices(query, inputs)
+    if not choices:
+        raise OptimizationError(f"no applicable method for {query!r}")
+
+    attempts: List[AdaptiveAttempt] = []
+    before = context.client.ledger.snapshot()
+    for choice in choices:
+        method = _armed(choice, inputs, safety_factor)
+        try:
+            execution = method.execute(query, context)
+        except JoinMethodError as error:
+            attempts.append(
+                AdaptiveAttempt(
+                    method=method.name,
+                    predicted_cost=choice.estimate.total,
+                    aborted=True,
+                    reason=str(error),
+                )
+            )
+            continue
+        attempts.append(
+            AdaptiveAttempt(
+                method=method.name,
+                predicted_cost=choice.estimate.total,
+                aborted=False,
+            )
+        )
+        total = context.client.ledger.diff(before).total
+        return AdaptiveExecution(
+            execution=execution, attempts=attempts, total_cost=total
+        )
+    raise OptimizationError(
+        "every applicable method aborted; raise safety_factor or fix the "
+        "statistics"
+    )

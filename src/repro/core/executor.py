@@ -1,0 +1,274 @@
+"""Executing multi-join plans (left-deep and PrL trees) end to end.
+
+The executor walks an annotated plan tree bottom-up:
+
+- scans filter base tables;
+- probe nodes reduce intermediates with metered probe searches;
+- relational joins run as nested loops, evaluating relational predicates
+  and — once documents are in flight — text predicates via
+  :class:`~repro.core.textmatch.TextMatch`;
+- the text join node materializes the intermediate and runs its
+  annotated foreign-join method through the standard single-join
+  machinery;
+- a text scan fetches documents by the text selections alone (the text
+  source as the outer-most operand).
+
+Fetched documents become relational pseudo-rows under the query's
+``text_source`` qualifier (``mercury.docid``, ``mercury.title``, ...).
+When a downstream predicate needs a field that the short form does not
+carry, the executor retrieves the long form (charged ``c_l``), exactly
+as the real integration would have to.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.joinmethods.base import JoinContext, selection_node
+from repro.core.optimizer.estimator import INTERMEDIATE
+from repro.core.optimizer.multiquery import MultiJoinQuery
+from repro.core.optimizer.plan import (
+    JoinNode,
+    PlanNode,
+    ProbeNode,
+    ScanNode,
+    TextJoinNode,
+    TextScanNode,
+)
+from repro.core.query import ResultShape, TextJoinPredicate, TextJoinQuery
+from repro.core.textmatch import TextMatch
+from repro.errors import PlanError, SearchSyntaxError
+from repro.gateway.costs import CostLedger
+from repro.relational.expressions import ColumnRef, Expression, conjoin
+from repro.relational.operators import MaterializedInput, NestedLoopJoin
+from repro.relational.row import Row
+from repro.relational.schema import Column, Schema
+from repro.relational.types import DataType
+from repro.textsys.documents import Document
+from repro.textsys.query import and_all, data_term
+
+__all__ = ["PlanExecution", "execute_plan", "document_schema", "document_row"]
+
+
+def document_schema(field_names: Sequence[str], text_source: str) -> Schema:
+    """The relational schema documents take on once fetched locally."""
+    columns = [Column(f"{text_source}.docid", DataType.VARCHAR)]
+    columns.extend(
+        Column(f"{text_source}.{name}", DataType.VARCHAR) for name in field_names
+    )
+    return Schema(columns)
+
+
+def document_row(
+    document: Document, schema: Schema, field_names: Sequence[str]
+) -> Row:
+    """Wrap a document as a relational pseudo-row (missing fields → NULL)."""
+    values: List[Optional[str]] = [document.docid]
+    values.extend(document.fields.get(name) for name in field_names)
+    return Row(schema, values)
+
+
+@dataclass
+class PlanExecution:
+    """The measured outcome of running one plan."""
+
+    schema: Schema
+    rows: List[Row]
+    cost: CostLedger
+    relational_comparisons: int
+    wall_seconds: float
+
+    def total_cost(self, join_comparison_cost: float = 0.0001) -> float:
+        """Simulated seconds: text-system cost plus priced relational work."""
+        return self.cost.total + join_comparison_cost * self.relational_comparisons
+
+    def result_keys(self) -> frozenset:
+        return frozenset(row.values for row in self.rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanExecution({len(self.rows)} rows, text={self.cost.total:.3f}s, "
+            f"comparisons={self.relational_comparisons})"
+        )
+
+
+class _PlanRunner:
+    """One plan execution; holds shared state (context, counters)."""
+
+    def __init__(self, query: MultiJoinQuery, context: JoinContext) -> None:
+        self.query = query
+        self.context = context
+        self.comparisons = 0
+        store = context.client.server.store
+        self.field_names: Tuple[str, ...] = tuple(store.field_names)
+        self.short_fields = set(store.short_fields)
+        self.doc_schema = document_schema(self.field_names, query.text_source)
+
+    # ------------------------------------------------------------------
+    def run(self, plan: PlanNode) -> MaterializedInput:
+        if isinstance(plan, ScanNode):
+            return self._run_scan(plan)
+        if isinstance(plan, TextScanNode):
+            return self._run_text_scan(plan)
+        if isinstance(plan, ProbeNode):
+            return self._run_probe(plan)
+        if isinstance(plan, JoinNode):
+            return self._run_join(plan)
+        if isinstance(plan, TextJoinNode):
+            return self._run_text_join(plan)
+        raise PlanError(f"unknown plan node {type(plan).__name__}")
+
+    # ------------------------------------------------------------------
+    def _run_scan(self, plan: ScanNode) -> MaterializedInput:
+        table = self.context.catalog.table(plan.relation)
+        rows = [
+            row
+            for row in table.scan()
+            if plan.predicate is None or plan.predicate.evaluate(row) is True
+        ]
+        return MaterializedInput(table.schema, rows)
+
+    def _needs_long_form(self, fields: Sequence[str]) -> bool:
+        return any(name not in self.short_fields for name in fields)
+
+    def _doc_rows(
+        self, documents: Sequence[Document], needed_fields: Sequence[str]
+    ) -> List[Row]:
+        """Documents as pseudo-rows, upgrading to long form when needed."""
+        upgrade = self._needs_long_form(needed_fields)
+        rows = []
+        for document in documents:
+            if upgrade and set(document.fields) != set(self.field_names):
+                document = self.context.client.retrieve(document.docid)
+            rows.append(document_row(document, self.doc_schema, self.field_names))
+        return rows
+
+    def _downstream_fields(self) -> List[str]:
+        """Fields needed locally after documents are fetched."""
+        needed = set()
+        if self.query.long_form:
+            needed.update(self.field_names)
+        return sorted(needed)
+
+    def _run_text_scan(self, plan: TextScanNode) -> MaterializedInput:
+        nodes = [selection_node(selection) for selection in plan.selections]
+        result = self.context.client.search(and_all(nodes))
+        # Every text predicate will be evaluated locally downstream, so
+        # every predicate field must be present.
+        needed = {p.field for p in self.query.text_predicates}
+        needed.update(self._downstream_fields())
+        rows = self._doc_rows(list(result), sorted(needed))
+        return MaterializedInput(self.doc_schema, rows)
+
+    def _run_probe(self, plan: ProbeNode) -> MaterializedInput:
+        child = self.run(plan.child)
+        selections = [
+            selection_node(selection) for selection in plan.selections
+        ]
+        groups: Dict[Tuple[object, ...], List[Row]] = {}
+        for row in child:
+            key = tuple(row[column] for column in plan.probe_columns)
+            if any(part is None for part in key):
+                continue
+            groups.setdefault(key, []).append(row)
+        kept: List[Row] = []
+        for key, rows in groups.items():
+            representative = rows[0]
+            try:
+                instantiated = [
+                    data_term(
+                        predicate.field, str(representative[predicate.column])
+                    )
+                    for predicate in plan.probe_predicates
+                ]
+            except SearchSyntaxError:
+                # Unindexable value (no words): the group can never join.
+                continue
+            if self.context.client.probe(and_all(selections + instantiated)):
+                kept.extend(rows)
+        return MaterializedInput(child.output_schema, kept)
+
+    def _text_match_expression(self, predicate: TextJoinPredicate) -> Expression:
+        return TextMatch(
+            value=ColumnRef(predicate.column),
+            field_text=ColumnRef(f"{self.query.text_source}.{predicate.field}"),
+        )
+
+    def _run_join(self, plan: JoinNode) -> MaterializedInput:
+        left = self.run(plan.left)
+        right = self.run(plan.right)
+        expressions: List[Expression] = [
+            predicate.expression for predicate in plan.relational_predicates
+        ]
+        expressions.extend(
+            self._text_match_expression(predicate)
+            for predicate in plan.text_match_predicates
+        )
+        join = NestedLoopJoin(left, right, conjoin(expressions))
+        rows = list(join)
+        # A predicate-free nested loop performs |L| x |R| pair visits.
+        pair_visits = (
+            join.comparisons
+            if join.predicate is not None
+            else len(left) * len(right)
+        )
+        if plan.left.includes_text or plan.right.includes_text:
+            # Matching fetched documents against tuples IS relational
+            # text processing: charge c_a per pair, like the RTP methods.
+            self.context.client.charge_rtp(pair_visits)
+        else:
+            self.comparisons += pair_visits
+        return MaterializedInput(join.output_schema, rows)
+
+    def _run_text_join(self, plan: TextJoinNode) -> MaterializedInput:
+        child = self.run(plan.child)
+        self.context.materialized[INTERMEDIATE] = list(child)
+        try:
+            synthetic = TextJoinQuery(
+                relation=INTERMEDIATE,
+                join_predicates=plan.available_predicates,
+                text_selections=plan.selections,
+                shape=ResultShape.PAIRS,
+                long_form=self.query.long_form,
+            )
+            execution = plan.method.execute(synthetic, self.context)
+        finally:
+            self.context.materialized.pop(INTERMEDIATE, None)
+
+        needed = {
+            p.field
+            for p in self.query.text_predicates
+            if p not in plan.available_predicates
+        }
+        needed.update(self._downstream_fields())
+        schema = child.output_schema.concat(self.doc_schema)
+        rows: List[Row] = []
+        doc_row_cache: Dict[str, Row] = {}
+        upgrade_fields = sorted(needed)
+        for pair in execution.pairs:
+            docid = pair.document.docid
+            if docid not in doc_row_cache:
+                doc_row_cache[docid] = self._doc_rows(
+                    [pair.document], upgrade_fields
+                )[0]
+            rows.append(pair.row.concat(doc_row_cache[docid]))
+        return MaterializedInput(schema, rows)
+
+
+def execute_plan(
+    plan: PlanNode, query: MultiJoinQuery, context: JoinContext
+) -> PlanExecution:
+    """Run a plan tree; returns rows plus the metered cost delta."""
+    started_at = time.perf_counter()
+    ledger_before = context.client.ledger.snapshot()
+    runner = _PlanRunner(query, context)
+    result = runner.run(plan)
+    return PlanExecution(
+        schema=result.output_schema,
+        rows=list(result),
+        cost=context.client.ledger.diff(ledger_before),
+        relational_comparisons=runner.comparisons,
+        wall_seconds=time.perf_counter() - started_at,
+    )

@@ -1,0 +1,62 @@
+"""The foreign-join execution methods of Section 3.
+
+- :class:`TupleSubstitution` (TS) — one instantiated search per distinct
+  joining tuple;
+- :class:`RelationalTextProcessing` (RTP) — one selection-only search,
+  then SQL string matching;
+- :class:`SemiJoin` (SJ) / :class:`SemiJoinRtp` (SJ+RTP) — OR-batched
+  searches within the term limit M;
+- :class:`ProbeTupleSubstitution` (P+TS), :class:`ProbeRtp` (P+RTP),
+  :class:`ProbeSemiJoin` — probing-based methods that prune fail-queries.
+"""
+
+from repro.core.joinmethods.base import (
+    JoinContext,
+    JoinMethod,
+    MethodExecution,
+    group_by_columns,
+    instantiate_predicates,
+    joining_rows,
+    rtp_match,
+    selection_node,
+    selection_nodes,
+)
+from repro.core.joinmethods.batched import BatchedTupleSubstitution, cost_batched_ts
+from repro.core.joinmethods.probing import (
+    ProbeCache,
+    ProbeRtp,
+    ProbeSemiJoin,
+    ProbeTupleSubstitution,
+)
+from repro.core.joinmethods.rtp import RelationalTextProcessing
+from repro.core.joinmethods.semijoin import (
+    SemiJoin,
+    SemiJoinRtp,
+    SingleColumnSemiJoinRtp,
+    batch_conjuncts,
+)
+from repro.core.joinmethods.tuple_substitution import TupleSubstitution
+
+__all__ = [
+    "JoinContext",
+    "JoinMethod",
+    "MethodExecution",
+    "TupleSubstitution",
+    "BatchedTupleSubstitution",
+    "cost_batched_ts",
+    "RelationalTextProcessing",
+    "SemiJoin",
+    "SemiJoinRtp",
+    "SingleColumnSemiJoinRtp",
+    "batch_conjuncts",
+    "ProbeCache",
+    "ProbeTupleSubstitution",
+    "ProbeRtp",
+    "ProbeSemiJoin",
+    "joining_rows",
+    "selection_node",
+    "selection_nodes",
+    "instantiate_predicates",
+    "group_by_columns",
+    "rtp_match",
+]

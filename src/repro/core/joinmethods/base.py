@@ -1,0 +1,292 @@
+"""Shared machinery for the foreign-join methods of Section 3.
+
+Every join method consumes a :class:`JoinContext` (the catalog plus the
+metered text client) and a :class:`~repro.core.query.TextJoinQuery`, and
+produces a :class:`MethodExecution` carrying the results in the query's
+requested shape together with the cost-ledger delta attributable to the
+method.
+
+The helpers here encode the semantics all methods must share so that
+they return identical results:
+
+- tuples whose join columns contain NULL never join (SQL semantics);
+- an instantiated join predicate turns the column value into the text
+  system's basic term for that value (word or phrase, via ``make_term``);
+- relational text processing (:func:`rtp_match`) checks a join value
+  against a fetched document using the *same* word-level semantics as
+  the text system, implemented with SQL-style string matching on the
+  relational side.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.query import (
+    JoinedPair,
+    ResultShape,
+    TextJoinPredicate,
+    TextJoinQuery,
+    TextSelection,
+)
+from repro.errors import JoinMethodError
+from repro.gateway.client import TextClient
+from repro.gateway.costs import CostLedger
+from repro.relational.catalog import Catalog
+from repro.relational.row import Row
+from repro.textsys.analysis import tokenize
+from repro.textsys.documents import Document
+from repro.textsys.engine import matches_document
+from repro.textsys.parser import term_node
+from repro.textsys.query import SearchNode, and_all, data_term
+
+__all__ = [
+    "JoinContext",
+    "MethodExecution",
+    "JoinMethod",
+    "joining_rows",
+    "selection_node",
+    "selection_nodes",
+    "instantiate_predicates",
+    "group_by_columns",
+    "rtp_fields_available",
+    "rtp_match",
+    "finalize_execution",
+]
+
+
+@dataclass
+class JoinContext:
+    """Everything a join method needs to run: data plus the text gateway.
+
+    ``materialized`` registers intermediate results under pseudo-relation
+    names so that multi-join plans can run a foreign-join method over the
+    output of earlier joins (the relation named by a
+    :class:`~repro.core.query.TextJoinQuery` is looked up here first,
+    then in the catalog).
+    """
+
+    catalog: Catalog
+    client: TextClient
+    materialized: Dict[str, List[Row]] = field(default_factory=dict)
+
+
+@dataclass
+class MethodExecution:
+    """The outcome of running one join method on one query."""
+
+    method: str
+    shape: ResultShape
+    pairs: List[JoinedPair] = field(default_factory=list)
+    docids: List[str] = field(default_factory=list)
+    tuples: List[Row] = field(default_factory=list)
+    cost: CostLedger = field(default_factory=CostLedger)
+    wall_seconds: float = 0.0
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Total simulated cost charged by the method."""
+        return self.cost.total
+
+    def result_keys(self) -> frozenset:
+        """A canonical, shape-appropriate identity set for the results."""
+        if self.shape is ResultShape.PAIRS:
+            return frozenset(pair.key() for pair in self.pairs)
+        if self.shape is ResultShape.DOCIDS:
+            return frozenset(self.docids)
+        return frozenset(row.values for row in self.tuples)
+
+    def __repr__(self) -> str:
+        sizes = {
+            ResultShape.PAIRS: len(self.pairs),
+            ResultShape.DOCIDS: len(self.docids),
+            ResultShape.TUPLES: len(self.tuples),
+        }
+        return (
+            f"MethodExecution({self.method}, {sizes[self.shape]} "
+            f"{self.shape.value}, cost={self.cost.total:.3f}s)"
+        )
+
+
+class JoinMethod:
+    """Base class for the foreign-join methods (TS, RTP, SJ, P+TS, ...)."""
+
+    #: Short name used in tables and plan annotations ("TS", "P+TS", ...).
+    name: str = "?"
+
+    def applicable(self, query: TextJoinQuery, context: JoinContext) -> bool:
+        """Can this method evaluate this query at all?"""
+        raise NotImplementedError
+
+    def check_applicable(self, query: TextJoinQuery, context: JoinContext) -> None:
+        if not self.applicable(query, context):
+            raise JoinMethodError(f"{self.name} is not applicable to {query!r}")
+
+    def execute(self, query: TextJoinQuery, context: JoinContext) -> MethodExecution:
+        """Run the method; must call :meth:`check_applicable` first."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+# ----------------------------------------------------------------------
+# shared building blocks
+# ----------------------------------------------------------------------
+def joining_rows(context: JoinContext, query: TextJoinQuery) -> List[Row]:
+    """The joining relation: base table or materialized intermediate,
+    after the query's local selection."""
+    if query.relation in context.materialized:
+        source = context.materialized[query.relation]
+    else:
+        source = context.catalog.table(query.relation).scan()
+    predicate = query.relation_predicate
+    rows = []
+    for row in source:
+        if predicate is None or predicate.evaluate(row) is True:
+            rows.append(row)
+    return rows
+
+
+def selection_node(selection: TextSelection) -> SearchNode:
+    """The search node for one text selection (word/phrase/truncation/near)."""
+    return term_node(selection.field, selection.term)
+
+
+def selection_nodes(query: TextJoinQuery) -> List[SearchNode]:
+    """Search nodes for every text selection of the query."""
+    return [selection_node(selection) for selection in query.text_selections]
+
+
+def instantiate_predicates(
+    predicates: Sequence[TextJoinPredicate], row: Row
+) -> Optional[List[SearchNode]]:
+    """Instantiate join predicates with one tuple's values.
+
+    Returns ``None`` when any join value is NULL or contains no indexable
+    word — such tuples can never join (and the text system could not even
+    express the search).
+    """
+    nodes: List[SearchNode] = []
+    for predicate in predicates:
+        value = row[predicate.column]
+        if value is None:
+            return None
+        text = str(value)
+        if not tokenize(text):
+            return None
+        nodes.append(data_term(predicate.field, text))
+    return nodes
+
+
+def group_by_columns(
+    rows: Sequence[Row], columns: Sequence[str]
+) -> "Dict[Tuple[object, ...], List[Row]]":
+    """Group tuples by their projection on ``columns`` (insertion order)."""
+    groups: Dict[Tuple[object, ...], List[Row]] = {}
+    for row in rows:
+        key = tuple(row[column] for column in columns)
+        groups.setdefault(key, []).append(row)
+    return groups
+
+
+def rtp_fields_available(
+    context: JoinContext, predicates: Sequence[TextJoinPredicate]
+) -> bool:
+    """Can relational text processing see these predicates' fields?
+
+    RTP-family methods string-match join values against *short-form*
+    documents; a predicate whose field the short form does not carry
+    cannot be evaluated relationally (the paper's applicability
+    condition: "when the text predicates … are on short structured
+    fields").  This is why "only two methods are universally applicable:
+    TS and P+TS" (Section 7.2).
+    """
+    short_fields = set(context.client.server.store.short_fields)
+    return all(predicate.field in short_fields for predicate in predicates)
+
+
+def rtp_match(
+    row: Row, document: Document, predicates: Sequence[TextJoinPredicate]
+) -> bool:
+    """Relational text processing: check join predicates with SQL strings.
+
+    The check reproduces the text system's word-level match (a value
+    matches when its word sequence appears in the document field), which
+    is the situation in which the paper considers RTP applicable — the
+    SQL string processing and the text-system predicate agree.
+    """
+    for predicate in predicates:
+        value = row[predicate.column]
+        if value is None:
+            return False
+        text = str(value)
+        if not tokenize(text):
+            return False
+        if not matches_document(document, data_term(predicate.field, text)):
+            return False
+    return True
+
+
+def finalize_execution(
+    method: str,
+    query: TextJoinQuery,
+    context: JoinContext,
+    pairs: List[JoinedPair],
+    ledger_before: CostLedger,
+    started_at: float,
+) -> MethodExecution:
+    """Shape the raw join pairs into the query's requested result form.
+
+    For long-form PAIRS queries the distinct matching documents are
+    retrieved (each charged ``c_l``) and substituted into the pairs —
+    mirroring the real system where searches return short forms and full
+    documents are fetched by docid.
+    """
+    # Deduplicate pairs while preserving order.
+    seen = set()
+    unique_pairs: List[JoinedPair] = []
+    for pair in pairs:
+        key = pair.key()
+        if key in seen:
+            continue
+        seen.add(key)
+        unique_pairs.append(pair)
+
+    execution = MethodExecution(method=method, shape=query.shape)
+    if query.shape is ResultShape.PAIRS:
+        if query.long_form:
+            long_forms: Dict[str, Document] = {}
+            for pair in unique_pairs:
+                docid = pair.document.docid
+                if docid not in long_forms:
+                    long_forms[docid] = context.client.retrieve(docid)
+            unique_pairs = [
+                JoinedPair(pair.row, long_forms[pair.document.docid])
+                for pair in unique_pairs
+            ]
+        execution.pairs = unique_pairs
+    elif query.shape is ResultShape.DOCIDS:
+        docids: List[str] = []
+        seen_docids = set()
+        for pair in unique_pairs:
+            if pair.document.docid in seen_docids:
+                continue
+            seen_docids.add(pair.document.docid)
+            docids.append(pair.document.docid)
+        execution.docids = docids
+    else:  # TUPLES
+        tuples: List[Row] = []
+        seen_rows = set()
+        for pair in unique_pairs:
+            if pair.row.values in seen_rows:
+                continue
+            seen_rows.add(pair.row.values)
+            tuples.append(pair.row)
+        execution.tuples = tuples
+
+    execution.cost = context.client.ledger.diff(ledger_before)
+    execution.wall_seconds = time.perf_counter() - started_at
+    return execution

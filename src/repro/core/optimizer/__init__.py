@@ -1,0 +1,50 @@
+"""Query optimization: single-join method choice and multi-join PrL search.
+
+- :mod:`single_join` — Section 5: pick the cheapest join method (and
+  optimal probe columns) for one relation joined with the text source;
+- :mod:`multiquery` / :mod:`plan` / :mod:`estimator` / :mod:`enumerate` —
+  Section 6: the extended PrL execution space and the modified System-R
+  dynamic-programming enumerator.
+"""
+
+from repro.core.optimizer.enumerate import OptimizedPlan, optimize_multijoin
+from repro.core.optimizer.estimator import INTERMEDIATE, PlanEstimator
+from repro.core.optimizer.multiquery import (
+    TEXT_SOURCE,
+    MultiJoinQuery,
+    RelationalJoinPredicate,
+)
+from repro.core.optimizer.plan import (
+    JoinNode,
+    PlanNode,
+    ProbeNode,
+    ScanNode,
+    TextJoinNode,
+    TextScanNode,
+    plan_signature,
+)
+from repro.core.optimizer.single_join import (
+    MethodChoice,
+    choose_join_method,
+    enumerate_method_choices,
+)
+
+__all__ = [
+    "MethodChoice",
+    "choose_join_method",
+    "enumerate_method_choices",
+    "MultiJoinQuery",
+    "RelationalJoinPredicate",
+    "TEXT_SOURCE",
+    "INTERMEDIATE",
+    "PlanEstimator",
+    "OptimizedPlan",
+    "optimize_multijoin",
+    "PlanNode",
+    "ScanNode",
+    "TextScanNode",
+    "ProbeNode",
+    "JoinNode",
+    "TextJoinNode",
+    "plan_signature",
+]

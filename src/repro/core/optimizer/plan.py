@@ -1,0 +1,247 @@
+"""Plan trees for multi-join queries: left-deep trees and PrL trees.
+
+Section 6 defines the extended execution space:
+
+    (1) A left-deep tree is a PrL tree.
+    (2) Every left-deep tree augmented with additional probe nodes placed
+        between two relational join nodes or between a scan node and a
+        relational join node is a PrL tree.  The probe nodes must precede
+        the join node with the text system.
+
+Plan nodes here mirror that definition: :class:`ScanNode` leaves,
+:class:`JoinNode` relational joins, :class:`ProbeNode` reducers, and the
+text system's position in the order — :class:`TextJoinNode` (foreign join
+of the running intermediate with the text source) or
+:class:`TextScanNode` (the text source as the outer-most operand,
+fetched through its selections).
+
+Nodes carry mutable ``estimated_rows`` / ``estimated_cost`` annotations
+filled by the cost estimator; ``estimated_cost`` is cumulative (the cost
+of the whole subtree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.core.joinmethods.base import JoinMethod
+from repro.core.optimizer.multiquery import (
+    TEXT_SOURCE,
+    RelationalJoinPredicate,
+)
+from repro.core.query import TextJoinPredicate, TextSelection
+from repro.errors import PlanError
+from repro.relational.expressions import Expression
+
+__all__ = [
+    "PlanNode",
+    "ScanNode",
+    "TextScanNode",
+    "ProbeNode",
+    "JoinNode",
+    "TextJoinNode",
+    "plan_signature",
+]
+
+
+@dataclass
+class PlanNode:
+    """Base class for plan nodes with cost annotations."""
+
+    estimated_rows: float = field(default=0.0, init=False)
+    estimated_cost: float = field(default=0.0, init=False)
+
+    def relations(self) -> FrozenSet[str]:
+        """The relations (and possibly the text source) this subtree covers."""
+        raise NotImplementedError
+
+    @property
+    def includes_text(self) -> bool:
+        return TEXT_SOURCE in self.relations()
+
+    def probed_columns(self) -> FrozenSet[str]:
+        """Text-predicate columns already reduced by probe nodes below."""
+        raise NotImplementedError
+
+    def describe(self, indent: int = 0) -> str:
+        """A readable indented tree rendering."""
+        raise NotImplementedError
+
+    def _annotation(self) -> str:
+        return f"[rows={self.estimated_rows:.1f} cost={self.estimated_cost:.2f}s]"
+
+
+@dataclass
+class ScanNode(PlanNode):
+    """Scan of one base relation, applying its local selection."""
+
+    relation: str
+    predicate: Optional[Expression] = None
+
+    def relations(self) -> FrozenSet[str]:
+        return frozenset({self.relation})
+
+    def probed_columns(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def describe(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        filter_text = f" where {self.predicate!r}" if self.predicate else ""
+        return f"{pad}Scan({self.relation}{filter_text}) {self._annotation()}"
+
+
+@dataclass
+class TextScanNode(PlanNode):
+    """The text source as the outer operand: fetch by selections only."""
+
+    selections: Tuple[TextSelection, ...]
+
+    def __post_init__(self) -> None:
+        if not self.selections:
+            raise PlanError(
+                "the text source can only be scanned through text selections"
+            )
+
+    def relations(self) -> FrozenSet[str]:
+        return frozenset({TEXT_SOURCE})
+
+    def probed_columns(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def describe(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        sels = " and ".join(repr(selection) for selection in self.selections)
+        return f"{pad}TextScan({sels}) {self._annotation()}"
+
+
+@dataclass
+class ProbeNode(PlanNode):
+    """A probe reducer: semi-join the child by the text source.
+
+    Sends one probe per distinct projection of the child over
+    ``probe_columns`` (text selections included in every probe) and keeps
+    only tuples of succeeding groups.  Must precede the text join node.
+    """
+
+    child: PlanNode
+    probe_columns: Tuple[str, ...]
+    probe_predicates: Tuple[TextJoinPredicate, ...]
+    selections: Tuple[TextSelection, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.probe_columns:
+            raise PlanError("probe node needs at least one probe column")
+        if self.child.includes_text:
+            raise PlanError("probe nodes must precede the text join node")
+
+    def relations(self) -> FrozenSet[str]:
+        return self.child.relations()
+
+    def probed_columns(self) -> FrozenSet[str]:
+        return self.child.probed_columns() | frozenset(self.probe_columns)
+
+    def describe(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        columns = ", ".join(self.probe_columns)
+        return (
+            f"{pad}Probe({columns}) {self._annotation()}\n"
+            f"{self.child.describe(indent + 1)}"
+        )
+
+
+@dataclass
+class JoinNode(PlanNode):
+    """A relational join between the running intermediate and one input.
+
+    ``text_match_predicates`` are text join predicates that become
+    locally evaluable at this join because one side already carries
+    fetched documents (post-text-join filtering via ``TextMatch``).
+    """
+
+    left: PlanNode
+    right: PlanNode
+    relational_predicates: Tuple[RelationalJoinPredicate, ...] = ()
+    text_match_predicates: Tuple[TextJoinPredicate, ...] = ()
+
+    def __post_init__(self) -> None:
+        overlap = self.left.relations() & self.right.relations()
+        if overlap:
+            raise PlanError(f"join inputs overlap on {sorted(overlap)}")
+        if self.text_match_predicates and not (
+            self.left.includes_text or self.right.includes_text
+        ):
+            raise PlanError(
+                "text-match predicates need fetched documents on one side"
+            )
+
+    def relations(self) -> FrozenSet[str]:
+        return self.left.relations() | self.right.relations()
+
+    def probed_columns(self) -> FrozenSet[str]:
+        return self.left.probed_columns() | self.right.probed_columns()
+
+    def describe(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        parts: List[str] = [repr(p) for p in self.relational_predicates]
+        parts.extend(repr(p) for p in self.text_match_predicates)
+        on = f" on {', '.join(parts)}" if parts else " (cross)"
+        return (
+            f"{pad}Join{on} {self._annotation()}\n"
+            f"{self.left.describe(indent + 1)}\n"
+            f"{self.right.describe(indent + 1)}"
+        )
+
+
+@dataclass
+class TextJoinNode(PlanNode):
+    """The foreign join: the text system's position in the join order.
+
+    Evaluates the text join predicates available from the child (plus all
+    text selections) with the annotated join ``method``, producing
+    (tuple, document) rows.  Text predicates of relations joined later
+    are handled downstream as ``text_match_predicates``.
+    """
+
+    child: PlanNode
+    method: JoinMethod
+    available_predicates: Tuple[TextJoinPredicate, ...]
+    selections: Tuple[TextSelection, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.child.includes_text:
+            raise PlanError("a plan may contain only one text join node")
+        if not self.available_predicates:
+            raise PlanError(
+                "a text join node needs at least one available text predicate"
+            )
+
+    def relations(self) -> FrozenSet[str]:
+        return self.child.relations() | frozenset({TEXT_SOURCE})
+
+    def probed_columns(self) -> FrozenSet[str]:
+        return self.child.probed_columns()
+
+    def describe(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        preds = ", ".join(repr(p) for p in self.available_predicates)
+        return (
+            f"{pad}TextJoin[{self.method.name}]({preds}) {self._annotation()}\n"
+            f"{self.child.describe(indent + 1)}"
+        )
+
+
+def plan_signature(plan: PlanNode) -> str:
+    """A compact structural signature (for tests and deduplication)."""
+    if isinstance(plan, ScanNode):
+        return plan.relation
+    if isinstance(plan, TextScanNode):
+        return "textscan"
+    if isinstance(plan, ProbeNode):
+        columns = ",".join(plan.probe_columns)
+        return f"probe[{columns}]({plan_signature(plan.child)})"
+    if isinstance(plan, JoinNode):
+        return f"join({plan_signature(plan.left)},{plan_signature(plan.right)})"
+    if isinstance(plan, TextJoinNode):
+        return f"textjoin[{plan.method.name}]({plan_signature(plan.child)})"
+    raise PlanError(f"unknown plan node {type(plan).__name__}")

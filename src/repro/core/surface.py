@@ -1,0 +1,373 @@
+"""An SQL-like surface syntax for text-join queries (Section 2.2).
+
+The paper writes its queries in "SQL-like syntax" where the external
+text source appears as a relation and text predicates use
+``<search term> in <field>``:
+
+    select * from student, mercury
+    where student.area = 'AI' and student.year > 3
+    and 'belief update' in mercury.title
+    and student.name in mercury.author
+
+:func:`parse_query` turns that syntax into a
+:class:`~repro.core.query.TextJoinQuery` (one stored relation) or a
+:class:`~repro.core.optimizer.multiquery.MultiJoinQuery` (several),
+classifying each WHERE conjunct:
+
+- ``'<constant>' in <text>.<field>``      → text selection
+- ``<rel>.<col> in <text>.<field>``       → text join predicate
+- ``<rel>.<col> <op> <literal>``          → relational selection
+- ``<relA>.<col> <op> <relB>.<col>``      → relational join predicate
+
+The result shape follows the select list: ``select docid`` asks for
+docids only; ``select *`` asks for full pairs with long-form documents;
+a list naming only stored-relation columns asks for relation tuples.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.optimizer.multiquery import MultiJoinQuery, RelationalJoinPredicate
+from repro.core.query import (
+    ResultShape,
+    TextJoinPredicate,
+    TextJoinQuery,
+    TextSelection,
+)
+from repro.errors import PlanError
+from repro.relational.expressions import (
+    ColumnRef,
+    Comparison,
+    Expression,
+    conjoin,
+)
+
+__all__ = ["parse_query", "render_query"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        '(?:[^'])*'                    # quoted string
+        | [A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)?  # ident / qualified
+        | -?\d+\.\d+ | -?\d+           # numbers
+        | != | <= | >= | [=<>,*]       # operators and punctuation
+    )
+    """,
+    re.VERBOSE,
+)
+
+_OPERATORS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+def _lex(text: str) -> List[str]:
+    tokens: List[str] = []
+    position = 0
+    stripped = text.strip()
+    while position < len(stripped):
+        match = _TOKEN_RE.match(stripped, position)
+        if match is None:
+            raise PlanError(
+                f"cannot tokenize query at {stripped[position:position + 20]!r}"
+            )
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[str]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    def _peek(self) -> Optional[str]:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _advance(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise PlanError("unexpected end of query")
+        self._position += 1
+        return token
+
+    def _expect_keyword(self, keyword: str) -> None:
+        token = self._advance()
+        if token.lower() != keyword:
+            raise PlanError(f"expected {keyword!r}, found {token!r}")
+
+    def _at_keyword(self, keyword: str) -> bool:
+        token = self._peek()
+        return token is not None and token.lower() == keyword
+
+    # ------------------------------------------------------------------
+    def parse(self):
+        self._expect_keyword("select")
+        select_list = self._select_list()
+        self._expect_keyword("from")
+        relations = self._relation_list()
+        conjuncts: List[Tuple[str, Any]] = []
+        if self._peek() is not None:
+            self._expect_keyword("where")
+            conjuncts = self._conjuncts()
+        if self._peek() is not None:
+            raise PlanError(f"trailing tokens at {self._peek()!r}")
+        return select_list, relations, conjuncts
+
+    def _select_list(self) -> List[str]:
+        items = [self._advance()]
+        if items[0] != "*" and not re.match(r"^[A-Za-z_]", items[0]):
+            raise PlanError(f"bad select item {items[0]!r}")
+        while self._peek() == ",":
+            self._advance()
+            items.append(self._advance())
+        return items
+
+    def _relation_list(self) -> List[str]:
+        relations = [self._advance()]
+        while self._peek() == ",":
+            self._advance()
+            relations.append(self._advance())
+        for relation in relations:
+            if "." in relation or not re.match(r"^[A-Za-z_]", relation):
+                raise PlanError(f"bad relation name {relation!r}")
+        return relations
+
+    def _conjuncts(self) -> List[Tuple[str, Any]]:
+        out = [self._conjunct()]
+        while self._at_keyword("and"):
+            self._advance()
+            out.append(self._conjunct())
+        return out
+
+    def _conjunct(self) -> Tuple[str, Any]:
+        left = self._advance()
+        connector = self._advance()
+        if connector.lower() == "in":
+            right = self._advance()
+            if "." not in right:
+                raise PlanError(
+                    f"'in' predicate needs a qualified text field, got {right!r}"
+                )
+            return ("in", (left, right))
+        if connector not in _OPERATORS:
+            raise PlanError(f"unknown operator {connector!r}")
+        right = self._advance()
+        return ("op", (left, connector, right))
+
+
+def _literal_value(token: str) -> Any:
+    if token.startswith("'") and token.endswith("'"):
+        return token[1:-1]
+    if re.fullmatch(r"-?\d+", token):
+        return int(token)
+    if re.fullmatch(r"-?\d+\.\d+", token):
+        return float(token)
+    return None
+
+
+def parse_query(
+    text: str,
+    text_source: str = "mercury",
+) -> Union[TextJoinQuery, MultiJoinQuery]:
+    """Parse the paper's SQL-like syntax into a query object.
+
+    ``text_source`` names the FROM entry that is the external text
+    system; every other FROM entry is a stored relation.
+    """
+    select_list, relations, raw_conjuncts = _Parser(_lex(text)).parse()
+
+    if text_source not in relations:
+        raise PlanError(
+            f"the text source {text_source!r} must appear in FROM "
+            f"(got {relations})"
+        )
+    stored = [relation for relation in relations if relation != text_source]
+    if not stored:
+        raise PlanError("the query needs at least one stored relation")
+    stored_set = set(stored)
+
+    text_selections: List[TextSelection] = []
+    text_predicates: List[TextJoinPredicate] = []
+    local: Dict[str, List[Expression]] = {}
+    join_predicates: List[RelationalJoinPredicate] = []
+
+    for kind, payload in raw_conjuncts:
+        if kind == "in":
+            left, right = payload
+            field_qualifier, field = right.split(".", 1)
+            if field_qualifier != text_source:
+                raise PlanError(
+                    f"'in' field {right!r} must belong to the text source "
+                    f"{text_source!r}"
+                )
+            if left.startswith("'"):
+                text_selections.append(TextSelection(left[1:-1], field))
+            else:
+                if "." not in left:
+                    raise PlanError(
+                        f"join value {left!r} must be a qualified column"
+                    )
+                relation = left.split(".", 1)[0]
+                if relation not in stored_set:
+                    raise PlanError(f"unknown relation in {left!r}")
+                text_predicates.append(TextJoinPredicate(left, field))
+            continue
+
+        left, op, right = payload
+        if "." not in left:
+            raise PlanError(f"comparison column {left!r} must be qualified")
+        left_relation = left.split(".", 1)[0]
+        if left_relation not in stored_set:
+            raise PlanError(f"unknown relation in {left!r}")
+        literal = _literal_value(right)
+        if literal is not None:
+            from repro.relational.expressions import Literal
+
+            expression = Comparison(op, ColumnRef(left), Literal(literal))
+            local.setdefault(left_relation, []).append(expression)
+            continue
+        if "." not in right:
+            raise PlanError(f"comparison operand {right!r} must be qualified")
+        right_relation = right.split(".", 1)[0]
+        if right_relation not in stored_set:
+            raise PlanError(f"unknown relation in {right!r}")
+        if right_relation == left_relation:
+            expression = Comparison(op, ColumnRef(left), ColumnRef(right))
+            local.setdefault(left_relation, []).append(expression)
+            continue
+        join_predicates.append(
+            RelationalJoinPredicate(
+                Comparison(op, ColumnRef(left), ColumnRef(right)),
+                (left_relation, right_relation),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # result shape from the select list
+    # ------------------------------------------------------------------
+    wants_star = select_list == ["*"]
+    bare_items = [item.split(".", 1)[-1] for item in select_list]
+    wants_docids_only = not wants_star and set(bare_items) == {"docid"}
+    references_text = wants_star or any(
+        item.split(".", 1)[0] == text_source for item in select_list if "." in item
+    ) or "docid" in bare_items
+
+    if len(stored) == 1:
+        if not text_predicates:
+            raise PlanError("a text-join query needs at least one join predicate")
+        if wants_docids_only:
+            shape, long_form = ResultShape.DOCIDS, False
+        elif not references_text:
+            shape, long_form = ResultShape.TUPLES, False
+        else:
+            shape, long_form = ResultShape.PAIRS, wants_star
+        return TextJoinQuery(
+            relation=stored[0],
+            join_predicates=tuple(text_predicates),
+            text_selections=tuple(text_selections),
+            relation_predicate=conjoin(local.get(stored[0], [])),
+            shape=shape,
+            long_form=long_form,
+        )
+
+    return MultiJoinQuery(
+        relations=tuple(stored),
+        text_predicates=tuple(text_predicates),
+        text_selections=tuple(text_selections),
+        join_predicates=tuple(join_predicates),
+        local_predicates=tuple(
+            (relation, conjoin(expressions))
+            for relation, expressions in local.items()
+        ),
+        long_form=wants_star,
+        text_source=text_source,
+    )
+
+
+# ----------------------------------------------------------------------
+# rendering (the inverse of parse_query, for logging and round-trips)
+# ----------------------------------------------------------------------
+def _render_literal(value: Any) -> str:
+    if isinstance(value, str):
+        return f"'{value}'"
+    return str(value)
+
+
+def _render_expression(expression: Expression) -> List[str]:
+    """Render a parser-produced expression back to WHERE conjunct strings."""
+    from repro.relational.expressions import And, Literal
+
+    if isinstance(expression, And):
+        out: List[str] = []
+        for operand in expression.operands:
+            out.extend(_render_expression(operand))
+        return out
+    if isinstance(expression, Comparison):
+        left = expression.left
+        right = expression.right
+        if isinstance(left, ColumnRef):
+            if isinstance(right, Literal):
+                return [f"{left.name} {expression.op} {_render_literal(right.value)}"]
+            if isinstance(right, ColumnRef):
+                return [f"{left.name} {expression.op} {right.name}"]
+    raise PlanError(f"cannot render expression {expression!r} to surface syntax")
+
+
+def render_query(
+    query: Union[TextJoinQuery, MultiJoinQuery],
+    text_source: str = "mercury",
+) -> str:
+    """Render a query back to the SQL-like surface syntax.
+
+    ``parse_query(render_query(q)) == q`` for every query the parser can
+    produce (property-tested); only expressions the parser itself emits
+    (conjunctions of column-vs-literal / column-vs-column comparisons)
+    are renderable.
+    """
+    conjuncts: List[str] = []
+    if isinstance(query, TextJoinQuery):
+        source = text_source
+        relations = [query.relation, source]
+        if query.shape is ResultShape.DOCIDS:
+            select = "docid"
+        elif query.shape is ResultShape.TUPLES:
+            select = ", ".join(
+                f"{query.relation}.{column.split('.', 1)[-1]}"
+                for column in query.join_columns
+            )
+        elif query.long_form:
+            select = "*"
+        else:
+            select = f"{query.relation}.{query.join_columns[0].split('.', 1)[-1]}, {source}.title"
+        if query.relation_predicate is not None:
+            conjuncts.extend(_render_expression(query.relation_predicate))
+        for selection in query.text_selections:
+            conjuncts.append(f"'{selection.term}' in {source}.{selection.field}")
+        for predicate in query.join_predicates:
+            conjuncts.append(f"{predicate.column} in {source}.{predicate.field}")
+    else:
+        source = query.text_source
+        relations = list(query.relations) + [source]
+        # The multi-join select list only carries long_form; any explicit
+        # column list round-trips to long_form=False.
+        if query.long_form:
+            select = "*"
+        else:
+            select = f"{query.relations[0]}.name, {source}.docid"
+        for relation, expression in query.local_predicates:
+            conjuncts.extend(_render_expression(expression))
+        for join_predicate in query.join_predicates:
+            conjuncts.extend(_render_expression(join_predicate.expression))
+        for selection in query.text_selections:
+            conjuncts.append(f"'{selection.term}' in {source}.{selection.field}")
+        for predicate in query.text_predicates:
+            conjuncts.append(f"{predicate.column} in {source}.{predicate.field}")
+
+    text = f"select {select} from {', '.join(relations)}"
+    if conjuncts:
+        text += " where " + " and ".join(conjuncts)
+    return text

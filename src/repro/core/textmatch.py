@@ -1,0 +1,71 @@
+"""The ``TextMatch`` relational expression.
+
+Once documents have been fetched from the text system and materialized
+as relational rows, remaining ``<column> in <field>`` predicates can be
+evaluated locally (this is what makes RTP and post-text-join filtering
+possible).  ``TextMatch`` implements exactly the text system's semantics
+— the join value's word sequence must appear in the field — so that
+locally-evaluated predicates agree with server-evaluated ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, List, Optional
+
+from repro.errors import TypeMismatchError
+from repro.relational.expressions import Expression
+from repro.relational.row import Row
+from repro.textsys.analysis import tokenize
+
+__all__ = ["TextMatch", "value_matches_field"]
+
+
+def value_matches_field(value: str, field_text: str) -> bool:
+    """True when ``value``'s word sequence occurs in ``field_text``.
+
+    Single-word values match any occurrence of the word; multi-word
+    values match as a consecutive word sequence (the text system's
+    phrase semantics).  Values with no indexable words never match.
+    """
+    needle = tokenize(value)
+    if not needle:
+        return False
+    haystack = tokenize(field_text)
+    width = len(needle)
+    if width == 1:
+        return needle[0] in haystack
+    return any(
+        haystack[start : start + width] == needle
+        for start in range(len(haystack) - width + 1)
+    )
+
+
+@dataclass(frozen=True)
+class TextMatch(Expression):
+    """``value_column in field_column`` evaluated on relational rows.
+
+    Both operands are expressions yielding strings; typically the left is
+    a relation column (the join value) and the right a document
+    pseudo-column holding a text field.
+    """
+
+    value: Expression
+    field_text: Expression
+
+    def evaluate(self, row: Row) -> Optional[bool]:
+        value = self.value.evaluate(row)
+        field_text = self.field_text.evaluate(row)
+        if value is None or field_text is None:
+            return None
+        if not isinstance(value, str) or not isinstance(field_text, str):
+            raise TypeMismatchError(
+                f"TextMatch needs strings, got {value!r} and {field_text!r}"
+            )
+        return value_matches_field(value, field_text)
+
+    def referenced_columns(self) -> FrozenSet[str]:
+        return self.value.referenced_columns() | self.field_text.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"textmatch({self.value!r} in {self.field_text!r})"

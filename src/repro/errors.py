@@ -1,0 +1,91 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "CatalogError",
+    "ExpressionError",
+    "TypeMismatchError",
+    "TextSystemError",
+    "SearchSyntaxError",
+    "SearchLimitExceeded",
+    "UnknownFieldError",
+    "UnknownDocumentError",
+    "GatewayError",
+    "StatisticsError",
+    "PlanError",
+    "OptimizationError",
+    "JoinMethodError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed: duplicate columns, unknown column, bad type."""
+
+
+class CatalogError(ReproError):
+    """A catalog operation failed (duplicate table, missing table)."""
+
+
+class ExpressionError(ReproError):
+    """An expression tree is malformed or cannot be evaluated."""
+
+
+class TypeMismatchError(ExpressionError):
+    """An expression combined operands of incompatible types."""
+
+
+class TextSystemError(ReproError):
+    """Base class for errors raised by the Boolean text retrieval system."""
+
+
+class SearchSyntaxError(TextSystemError):
+    """A text search expression could not be parsed."""
+
+
+class SearchLimitExceeded(TextSystemError):
+    """A search used more terms than the system's per-search limit ``M``."""
+
+
+class UnknownFieldError(TextSystemError):
+    """A search referenced a text field that the collection does not define."""
+
+
+class UnknownDocumentError(TextSystemError):
+    """A ``retrieve`` named a docid that is not in the collection."""
+
+
+class GatewayError(ReproError):
+    """The loose-integration gateway was misused (e.g. bad cost constants)."""
+
+
+class StatisticsError(ReproError):
+    """Statistics were requested for a predicate that was never sampled."""
+
+
+class PlanError(ReproError):
+    """A query plan is structurally invalid."""
+
+
+class OptimizationError(ReproError):
+    """The optimizer could not produce a plan for a query."""
+
+
+class JoinMethodError(ReproError):
+    """A join method was applied to a query it does not support."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator received unsatisfiable parameters."""

@@ -1,0 +1,44 @@
+"""Loose-integration gateway between the database and the text system.
+
+Provides the metered :class:`TextClient` (every search/retrieve is priced
+with the paper's calibrated cost constants into a :class:`CostLedger`),
+sampling-based predicate statistics, and the *g*-correlated joint
+selectivity/fanout models of Section 4.2.
+"""
+
+from repro.gateway.client import SearchCall, TextClient
+from repro.gateway.costs import PAPER_CONSTANTS, CostConstants, CostLedger
+from repro.gateway.published import (
+    FieldStatistics,
+    field_statistics,
+    published_predicate_statistics,
+)
+from repro.gateway.sampling import (
+    exact_predicate_statistics,
+    sample_predicate_statistics,
+)
+from repro.gateway.statistics import (
+    CorrelationModel,
+    PredicateStatistics,
+    TextStatisticsRegistry,
+    joint_fanout,
+    joint_selectivity,
+)
+
+__all__ = [
+    "TextClient",
+    "SearchCall",
+    "CostConstants",
+    "CostLedger",
+    "PAPER_CONSTANTS",
+    "PredicateStatistics",
+    "CorrelationModel",
+    "TextStatisticsRegistry",
+    "joint_selectivity",
+    "joint_fanout",
+    "sample_predicate_statistics",
+    "exact_predicate_statistics",
+    "FieldStatistics",
+    "field_statistics",
+    "published_predicate_statistics",
+]

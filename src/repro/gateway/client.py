@@ -1,0 +1,147 @@
+"""The metered text-system client (the foreign-function gateway).
+
+Every database-side access to the external text system goes through
+:class:`TextClient`, which forwards the call to the
+:class:`~repro.textsys.server.BooleanTextServer` and charges the
+corresponding cost into a :class:`~repro.gateway.costs.CostLedger`.
+
+This is the reproduction's substitute for the paper's live network link
+between OpenODB and the CMU Mercury server: instead of paying real
+seconds per connection, the ledger accumulates *simulated* seconds using
+the constants the paper calibrated on that link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Union
+
+from repro.errors import GatewayError
+from repro.gateway.costs import CostConstants, CostLedger
+from repro.textsys.documents import Document
+from repro.textsys.query import SearchNode
+from repro.textsys.result import ResultSet
+from repro.textsys.server import BooleanTextServer
+
+__all__ = ["TextClient", "SearchCall"]
+
+
+@dataclass(frozen=True)
+class SearchCall:
+    """One logged search: the expression sent and what came back."""
+
+    expression: str
+    result_size: int
+    postings_processed: int
+    cost: float
+
+
+class TextClient:
+    """Search/retrieve access to the text server with cost accounting."""
+
+    def __init__(
+        self,
+        server: BooleanTextServer,
+        constants: Optional[CostConstants] = None,
+        log_calls: bool = False,
+    ) -> None:
+        self.server = server
+        self.ledger = CostLedger(constants=constants or CostConstants())
+        self.log_calls = log_calls
+        self.call_log: List[SearchCall] = []
+
+    # ------------------------------------------------------------------
+    # the two foreign operations
+    # ------------------------------------------------------------------
+    def search(self, query: Union[SearchNode, str]) -> ResultSet:
+        """Send one search; returns the short-form result set.
+
+        Charges ``c_i + c_p * postings + c_s * |result|``.
+        """
+        result = self.server.search(query)
+        cost = self.ledger.charge_search(result.postings_processed, len(result))
+        if self.log_calls:
+            expression = query.to_expression() if isinstance(query, SearchNode) else query
+            self.call_log.append(
+                SearchCall(
+                    expression=expression,
+                    result_size=len(result),
+                    postings_processed=result.postings_processed,
+                    cost=cost,
+                )
+            )
+        return result
+
+    def search_batch(self, queries) -> List[ResultSet]:
+        """Send many searches in ONE invocation (Section 8's proposal).
+
+        Requires the server to support ``search_batch`` (see
+        :class:`repro.textsys.batching.BatchingTextServer`).  Charges a
+        single ``c_i`` for the whole batch plus the usual processing and
+        short-form transmission for every query's answer.
+        """
+        search_batch = getattr(self.server, "search_batch", None)
+        if search_batch is None:
+            raise GatewayError(
+                "the text server does not support batched invocations; "
+                "wrap it in BatchingTextServer"
+            )
+        results = search_batch(queries)
+        postings = sum(result.postings_processed for result in results)
+        returned = sum(len(result) for result in results)
+        cost = self.ledger.charge_search(postings, returned)
+        if self.log_calls:
+            self.call_log.append(
+                SearchCall(
+                    expression=f"<batch of {len(queries)}>",
+                    result_size=returned,
+                    postings_processed=postings,
+                    cost=cost,
+                )
+            )
+        return results
+
+    def retrieve(self, docid: str) -> Document:
+        """Fetch one long-form document; charges ``c_l``."""
+        document = self.server.retrieve(docid)
+        self.ledger.charge_retrieve()
+        return document
+
+    def retrieve_many(self, docids: Iterable[str]) -> List[Document]:
+        """Fetch several long forms, one retrieval (and one ``c_l``) each."""
+        return [self.retrieve(docid) for docid in docids]
+
+    # ------------------------------------------------------------------
+    # probing and RTP support
+    # ------------------------------------------------------------------
+    def probe(self, query: Union[SearchNode, str]) -> bool:
+        """Send a probe: a search whose only use is "any matches?".
+
+        A probe is an ordinary short-form search (Section 3.3: "requiring
+        the text system to return only the information whether there are
+        any matching documents ... by requesting the short form
+        response"), so it is charged exactly like :meth:`search`.
+        """
+        return not self.search(query).is_empty
+
+    def charge_rtp(self, document_count: int) -> float:
+        """Account for SQL string matching over ``document_count`` documents."""
+        return self.ledger.charge_rtp(document_count)
+
+    # ------------------------------------------------------------------
+    # published meta information
+    # ------------------------------------------------------------------
+    @property
+    def document_count(self) -> int:
+        """``D``, the collection size."""
+        return self.server.document_count
+
+    @property
+    def term_limit(self) -> int:
+        """``M``, the per-search basic-term limit."""
+        return self.server.term_limit
+
+    def reset_accounting(self) -> None:
+        """Zero the ledger and the call log (server counters untouched)."""
+        self.ledger.reset()
+        self.call_log.clear()

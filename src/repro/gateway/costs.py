@@ -1,0 +1,148 @@
+"""Cost constants and the metered cost ledger (Section 4.1).
+
+The cost of accessing the text system has three components — invocation,
+processing, and transmission — plus the relational-side string matching
+cost for RTP methods:
+
+    cost of one search  =  c_i  +  c_p * (postings processed)
+                                +  c_s * |result set|        (short form)
+    cost of one retrieve =  c_l                               (long form)
+    relational text processing = c_a per document matched against
+
+The paper calibrated the integrated OpenODB ↔ Mercury system and obtained
+``c_i = 3`` s, ``c_p = 1e-5`` s/posting, short form ``0.015`` s/document
+and long form ``4`` s/document ("the long-form transmission cost is
+orders of magnitude more expensive than the short-form cost as each
+retrieval requires a separate connection").  Those calibrated values are
+the defaults here, so simulated costs land in the same regime as the
+paper's measurements.  ``c_a`` is only described as a proportionality
+constant; we default it to 1 ms/document (SQL substring matching of a
+short field is far cheaper than any remote operation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import GatewayError
+
+__all__ = ["CostConstants", "CostLedger", "PAPER_CONSTANTS"]
+
+
+@dataclass(frozen=True)
+class CostConstants:
+    """The five proportionality constants of Table 1 (seconds)."""
+
+    invocation: float = 3.0  # c_i, per search sent to the text system
+    per_posting: float = 0.00001  # c_p, per posting on retrieved inverted lists
+    short_form: float = 0.015  # c_s, per document in a short-form result set
+    long_form: float = 4.0  # c_l, per long-form document retrieved
+    rtp_per_document: float = 0.001  # c_a, per document string-matched in SQL
+
+    def __post_init__(self) -> None:
+        for name in (
+            "invocation",
+            "per_posting",
+            "short_form",
+            "long_form",
+            "rtp_per_document",
+        ):
+            if getattr(self, name) < 0:
+                raise GatewayError(f"cost constant {name} must be non-negative")
+
+    def search_cost(self, postings_processed: int, result_size: int) -> float:
+        """Cost of one search per the Section 4.1 formula."""
+        return (
+            self.invocation
+            + self.per_posting * postings_processed
+            + self.short_form * result_size
+        )
+
+
+#: The constants measured on the live OpenODB ↔ Mercury integration.
+PAPER_CONSTANTS = CostConstants()
+
+
+@dataclass
+class CostLedger:
+    """Accumulates metered work and prices it with :class:`CostConstants`.
+
+    The ledger separates *counts* (observable work) from *cost* (counts
+    priced by the constants), so tests can verify the accounting
+    invariant exactly: ``total == c_i*searches + c_p*postings +
+    c_s*short + c_l*long + c_a*rtp``.
+    """
+
+    constants: CostConstants = field(default_factory=CostConstants)
+    searches: int = 0
+    postings_processed: int = 0
+    short_documents: int = 0
+    long_documents: int = 0
+    rtp_documents: int = 0
+
+    def charge_search(self, postings_processed: int, result_size: int) -> float:
+        """Record one search invocation; returns its cost."""
+        self.searches += 1
+        self.postings_processed += postings_processed
+        self.short_documents += result_size
+        return self.constants.search_cost(postings_processed, result_size)
+
+    def charge_retrieve(self) -> float:
+        """Record one long-form retrieval; returns its cost."""
+        self.long_documents += 1
+        return self.constants.long_form
+
+    def charge_rtp(self, document_count: int) -> float:
+        """Record relational text processing over ``document_count`` docs."""
+        if document_count < 0:
+            raise GatewayError("document count must be non-negative")
+        self.rtp_documents += document_count
+        return self.constants.rtp_per_document * document_count
+
+    @property
+    def total(self) -> float:
+        """Total simulated cost in seconds."""
+        constants = self.constants
+        return (
+            constants.invocation * self.searches
+            + constants.per_posting * self.postings_processed
+            + constants.short_form * self.short_documents
+            + constants.long_form * self.long_documents
+            + constants.rtp_per_document * self.rtp_documents
+        )
+
+    def reset(self) -> None:
+        self.searches = 0
+        self.postings_processed = 0
+        self.short_documents = 0
+        self.long_documents = 0
+        self.rtp_documents = 0
+
+    def snapshot(self) -> "CostLedger":
+        """An independent copy of the current state."""
+        return CostLedger(
+            constants=self.constants,
+            searches=self.searches,
+            postings_processed=self.postings_processed,
+            short_documents=self.short_documents,
+            long_documents=self.long_documents,
+            rtp_documents=self.rtp_documents,
+        )
+
+    def diff(self, earlier: "CostLedger") -> "CostLedger":
+        """The work done since ``earlier`` (a snapshot of this ledger)."""
+        return CostLedger(
+            constants=self.constants,
+            searches=self.searches - earlier.searches,
+            postings_processed=self.postings_processed - earlier.postings_processed,
+            short_documents=self.short_documents - earlier.short_documents,
+            long_documents=self.long_documents - earlier.long_documents,
+            rtp_documents=self.rtp_documents - earlier.rtp_documents,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CostLedger(total={self.total:.3f}s, searches={self.searches}, "
+            f"postings={self.postings_processed}, short={self.short_documents}, "
+            f"long={self.long_documents}, rtp={self.rtp_documents})"
+        )

@@ -1,0 +1,106 @@
+"""Published text-system statistics (the other Section 8 proposal).
+
+"We observe that the text system can help the optimizer by making
+available statistics such as distribution of fanout of the words in the
+vocabulary.  Such information will eliminate the need for sending all
+single-column probes to the text system."
+
+:func:`published_predicate_statistics` computes a predicate's
+``(s_i, f_i)`` from the server's published per-term document frequencies
+— *zero* search invocations — for single-word join values; multi-word
+(phrase) values use the frequency of their rarest word as an upper-bound
+fanout, with the corresponding optimistic selectivity.
+:func:`field_statistics` summarizes a whole field's vocabulary (size,
+postings, fanout distribution), the catalogue a cooperating text system
+would export.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import StatisticsError
+from repro.gateway.statistics import PredicateStatistics
+from repro.textsys.analysis import tokenize
+from repro.textsys.server import BooleanTextServer
+
+__all__ = ["FieldStatistics", "field_statistics", "published_predicate_statistics"]
+
+
+@dataclass(frozen=True)
+class FieldStatistics:
+    """The published catalogue for one text field."""
+
+    field: str
+    vocabulary_size: int
+    total_postings: int
+    mean_document_frequency: float
+    max_document_frequency: int
+    #: document-frequency histogram: bucket upper bounds 1, 2, 4, 8, ...
+    frequency_histogram: Tuple[Tuple[int, int], ...]
+
+
+def field_statistics(server: BooleanTextServer, field: str) -> FieldStatistics:
+    """Summarize a field's vocabulary from the index (no searches sent)."""
+    index = server.index
+    vocabulary = index.vocabulary(field)
+    frequencies = [index.document_frequency(field, term) for term in vocabulary]
+    total = sum(frequencies)
+    buckets: Dict[int, int] = {}
+    for frequency in frequencies:
+        bucket = 1 << max(0, (frequency - 1)).bit_length()
+        buckets[bucket] = buckets.get(bucket, 0) + 1
+    return FieldStatistics(
+        field=field,
+        vocabulary_size=len(vocabulary),
+        total_postings=total,
+        mean_document_frequency=total / len(vocabulary) if vocabulary else 0.0,
+        max_document_frequency=max(frequencies) if frequencies else 0,
+        frequency_histogram=tuple(sorted(buckets.items())),
+    )
+
+
+def published_predicate_statistics(
+    server: BooleanTextServer,
+    column: str,
+    field: str,
+    values: Sequence[object],
+) -> PredicateStatistics:
+    """Estimate ``(s_i, f_i)`` from published frequencies — no probes.
+
+    Single-word values are exact.  Phrase values cannot be resolved from
+    per-word frequencies alone, so the rarest word's frequency serves as
+    an upper bound (safely overestimating both statistics, which only
+    makes the optimizer more conservative about probing).
+    """
+    distinct: List[str] = []
+    seen = set()
+    for value in values:
+        if value is None or value in seen:
+            continue
+        seen.add(value)
+        distinct.append(str(value))
+    if not distinct:
+        raise StatisticsError(f"column {column!r} has no non-NULL values")
+
+    matched = 0
+    total_frequency = 0
+    for text in distinct:
+        words = tokenize(text)
+        if not words:
+            continue
+        frequency = min(
+            server.document_frequency(field, word) for word in words
+        )
+        if frequency > 0:
+            matched += 1
+        total_frequency += frequency
+    return PredicateStatistics(
+        column=column,
+        field=field,
+        selectivity=matched / len(distinct),
+        fanout=total_frequency / len(distinct),
+        sample_size=len(distinct),
+    )

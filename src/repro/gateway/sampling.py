@@ -1,0 +1,113 @@
+"""Sampling-based estimation of predicate selectivity and fanout (Section 4.2).
+
+"To estimate these statistics, we employ sampling techniques.  We sample
+terms from column *i*, access the text retrieval system to check if they
+appear in field *i* of some document, and obtain the frequencies if so."
+
+:func:`sample_predicate_statistics` draws a random sample of distinct
+column values, sends one single-term search per sampled value through a
+:class:`~repro.gateway.client.TextClient` (so sampling cost is metered —
+the paper amortizes it across queries on the same predicate), and
+estimates:
+
+- ``s_i`` = fraction of sampled terms that matched at least one document;
+- ``f_i`` = mean result-set size over *all* sampled terms (zero matches
+  included), so that ``n`` searches over random tuples are expected to
+  return ``n * f_i`` documents — the role ``f_i`` plays in the Section
+  4.3 formulas.
+
+:func:`exact_predicate_statistics` computes the same two numbers exactly
+from the full value list, for tests and for calibrated experiments where
+estimation error should be zero.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import StatisticsError
+from repro.gateway.client import TextClient
+from repro.gateway.statistics import PredicateStatistics
+from repro.textsys.query import make_term
+from repro.textsys.server import BooleanTextServer
+
+__all__ = ["sample_predicate_statistics", "exact_predicate_statistics"]
+
+
+def _distinct_strings(values: Iterable[object]) -> List[str]:
+    seen = set()
+    out: List[str] = []
+    for value in values:
+        if value is None or value in seen:
+            continue
+        seen.add(value)
+        out.append(str(value))
+    return out
+
+
+def sample_predicate_statistics(
+    client: TextClient,
+    column: str,
+    field: str,
+    values: Sequence[object],
+    sample_size: int = 20,
+    rng: Optional[random.Random] = None,
+) -> PredicateStatistics:
+    """Estimate ``(s_i, f_i)`` for ``column in field`` by metered sampling."""
+    if sample_size < 1:
+        raise StatisticsError("sample size must be at least 1")
+    distinct = _distinct_strings(values)
+    if not distinct:
+        raise StatisticsError(f"column {column!r} has no non-NULL values to sample")
+    rng = rng or random.Random(0)
+    chosen = (
+        distinct
+        if len(distinct) <= sample_size
+        else rng.sample(distinct, sample_size)
+    )
+    matched = 0
+    total_results = 0
+    for term_text in chosen:
+        result = client.search(make_term(field, term_text))
+        if not result.is_empty:
+            matched += 1
+        total_results += len(result)
+    return PredicateStatistics(
+        column=column,
+        field=field,
+        selectivity=matched / len(chosen),
+        fanout=total_results / len(chosen),
+        sample_size=len(chosen),
+    )
+
+
+def exact_predicate_statistics(
+    server: BooleanTextServer,
+    column: str,
+    field: str,
+    values: Sequence[object],
+) -> PredicateStatistics:
+    """Compute ``(s_i, f_i)`` exactly over every distinct column value.
+
+    Uses the server's published meta interface (document frequencies)
+    rather than metered searches; intended for tests and calibrated
+    benchmark setups.
+    """
+    distinct = _distinct_strings(values)
+    if not distinct:
+        raise StatisticsError(f"column {column!r} has no non-NULL values")
+    matched = 0
+    total_results = 0
+    for term_text in distinct:
+        result = server.search(make_term(field, term_text))
+        if not result.is_empty:
+            matched += 1
+        total_results += len(result)
+    return PredicateStatistics(
+        column=column,
+        field=field,
+        selectivity=matched / len(distinct),
+        fanout=total_results / len(distinct),
+        sample_size=len(distinct),
+    )

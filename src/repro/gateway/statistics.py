@@ -1,0 +1,157 @@
+"""Text-predicate statistics and the *g*-correlated joint model (Section 4.2).
+
+For each foreign join predicate ``column_i in field_i`` the optimizer
+keeps two statistics:
+
+- **selectivity** ``s_i`` — the probability that a term drawn from
+  column *i* occurs in field *i* of some document;
+- **fanout** ``f_i`` — the average number of documents in which a term
+  drawn from column *i* occurs in field *i*.
+
+When a query has several text join predicates, joint statistics follow
+the *g-correlated* model: order the predicates by increasing statistic
+and keep only the ``g`` most selective —
+
+    S_{g,K} = prod of the g smallest s_i
+    F_{g,K} = (prod of the g smallest f_i) / D^(g-1)
+
+``g = 1`` assumes full correlation (joint = minimum); ``g = k`` assumes
+full independence (joint = product).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import StatisticsError
+
+__all__ = [
+    "PredicateStatistics",
+    "CorrelationModel",
+    "TextStatisticsRegistry",
+    "joint_selectivity",
+    "joint_fanout",
+]
+
+
+@dataclass(frozen=True)
+class PredicateStatistics:
+    """Estimated statistics for one foreign predicate ``column in field``."""
+
+    column: str
+    field: str
+    selectivity: float  # s_i in [0, 1]
+    fanout: float  # f_i >= 0 (mean documents per term, zero-matches included)
+    sample_size: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.selectivity <= 1.0:
+            raise StatisticsError(
+                f"selectivity {self.selectivity} for {self.column!r} not in [0, 1]"
+            )
+        if self.fanout < 0:
+            raise StatisticsError(f"fanout {self.fanout} for {self.column!r} negative")
+
+    @property
+    def conditional_fanout(self) -> float:
+        """Mean result size given the term matches at all (``f_i / s_i``)."""
+        if self.selectivity == 0:
+            return 0.0
+        return self.fanout / self.selectivity
+
+
+def joint_selectivity(selectivities: Sequence[float], g: int) -> float:
+    """``S_{g,K}``: product of the ``g`` smallest selectivities."""
+    if not selectivities:
+        return 1.0
+    if g < 1:
+        raise StatisticsError("g must be at least 1")
+    ordered = sorted(selectivities)
+    product = 1.0
+    for value in ordered[: min(g, len(ordered))]:
+        product *= value
+    return product
+
+
+def joint_fanout(fanouts: Sequence[float], g: int, document_count: int) -> float:
+    """``F_{g,K}``: product of the ``g`` smallest fanouts over ``D^(g-1)``."""
+    if not fanouts:
+        return float(document_count)
+    if g < 1:
+        raise StatisticsError("g must be at least 1")
+    if document_count < 1:
+        raise StatisticsError("document count must be positive")
+    ordered = sorted(fanouts)
+    effective = min(g, len(ordered))
+    product = 1.0
+    for value in ordered[:effective]:
+        product *= value
+    return product / (document_count ** (effective - 1))
+
+
+@dataclass(frozen=True)
+class CorrelationModel:
+    """A *g*-correlated joint-statistics model over ``D`` documents."""
+
+    g: int
+    document_count: int
+
+    def __post_init__(self) -> None:
+        if self.g < 1:
+            raise StatisticsError("g must be at least 1")
+        if self.document_count < 1:
+            raise StatisticsError("document count must be positive")
+
+    @classmethod
+    def fully_correlated(cls, document_count: int) -> "CorrelationModel":
+        """The 1-correlated model: joint statistic = minimum."""
+        return cls(g=1, document_count=document_count)
+
+    @classmethod
+    def independent(cls, document_count: int, k: int) -> "CorrelationModel":
+        """The k-correlated model: joint statistic = full product."""
+        return cls(g=max(k, 1), document_count=document_count)
+
+    def selectivity(self, predicates: Sequence[PredicateStatistics]) -> float:
+        """Joint selectivity ``S_{g,K}`` of a predicate set."""
+        return joint_selectivity([p.selectivity for p in predicates], self.g)
+
+    def fanout(self, predicates: Sequence[PredicateStatistics]) -> float:
+        """Joint fanout ``F_{g,K}`` of a predicate set."""
+        return joint_fanout(
+            [p.fanout for p in predicates], self.g, self.document_count
+        )
+
+
+class TextStatisticsRegistry:
+    """The optimizer's store of per-predicate statistics.
+
+    "The estimates thus obtained are maintained by the optimizer, and the
+    sampling cost is amortized over queries with the same predicate."
+    Keys are ``(column, field)`` pairs.
+    """
+
+    def __init__(self) -> None:
+        self._stats: Dict[Tuple[str, str], PredicateStatistics] = {}
+
+    def put(self, stats: PredicateStatistics) -> None:
+        self._stats[(stats.column, stats.field)] = stats
+
+    def get(self, column: str, field: str) -> PredicateStatistics:
+        try:
+            return self._stats[(column, field)]
+        except KeyError:
+            raise StatisticsError(
+                f"no statistics for predicate {column!r} in {field!r}; "
+                "sample it first (gateway.sampling) or register it explicitly"
+            ) from None
+
+    def has(self, column: str, field: str) -> bool:
+        return (column, field) in self._stats
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    def items(self) -> List[PredicateStatistics]:
+        return list(self._stats.values())

@@ -1,0 +1,108 @@
+"""In-memory relational engine substrate.
+
+This subpackage implements the database-system side of the paper's loose
+integration: typed tables, an expression language with SQL string
+matching (needed by Relational Text Processing), iterator-style physical
+operators, secondary indexes, statistics, and CSV I/O.
+"""
+
+from repro.relational.aggregates import (
+    AggregateSpec,
+    GroupBy,
+    avg_of,
+    count,
+    count_rows,
+    max_of,
+    min_of,
+    sum_of,
+)
+from repro.relational.catalog import Catalog
+from repro.relational.csv_io import load_table_csv, save_table_csv
+from repro.relational.expressions import (
+    And,
+    ColumnRef,
+    Comparison,
+    Contains,
+    Expression,
+    InList,
+    Like,
+    Literal,
+    Not,
+    Or,
+    conjoin,
+    conjuncts,
+)
+from repro.relational.indexes import HashIndex, SortedIndex
+from repro.relational.operators import (
+    CrossProduct,
+    Distinct,
+    Filter,
+    HashJoin,
+    Limit,
+    MaterializedInput,
+    NestedLoopJoin,
+    Operator,
+    Project,
+    Sort,
+    TableScan,
+    materialize,
+)
+from repro.relational.row import Row
+from repro.relational.schema import Column, Schema
+from repro.relational.statistics import (
+    ColumnStatistics,
+    TableStatistics,
+    collect_table_statistics,
+)
+from repro.relational.table import Table
+from repro.relational.types import DataType, coerce_value, infer_type
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "Schema",
+    "Row",
+    "Table",
+    "DataType",
+    "coerce_value",
+    "infer_type",
+    "Expression",
+    "ColumnRef",
+    "Literal",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "Like",
+    "Contains",
+    "InList",
+    "conjoin",
+    "conjuncts",
+    "Operator",
+    "TableScan",
+    "MaterializedInput",
+    "Filter",
+    "Project",
+    "Distinct",
+    "Sort",
+    "Limit",
+    "NestedLoopJoin",
+    "HashJoin",
+    "CrossProduct",
+    "materialize",
+    "HashIndex",
+    "SortedIndex",
+    "ColumnStatistics",
+    "TableStatistics",
+    "collect_table_statistics",
+    "load_table_csv",
+    "save_table_csv",
+    "AggregateSpec",
+    "GroupBy",
+    "count_rows",
+    "count",
+    "sum_of",
+    "min_of",
+    "max_of",
+    "avg_of",
+]

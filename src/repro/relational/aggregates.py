@@ -1,0 +1,154 @@
+"""Grouping and aggregation.
+
+Section 3.1 notes that sending one search per *distinct* join-column
+projection "can be achieved by either caching the values of join columns
+for previous queries, by exploiting an existing order on join columns or
+by grouping on the join columns [CS93]" — so the engine provides a
+grouping operator.  Aggregates cover the SQL basics: COUNT, COUNT(col),
+SUM, MIN, MAX, AVG, with SQL NULL semantics (NULLs ignored; empty groups
+yield NULL except COUNT = 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import PlanError
+from repro.relational.operators import Operator
+from repro.relational.row import Row
+from repro.relational.schema import Column, Schema
+from repro.relational.types import DataType
+
+__all__ = [
+    "AggregateSpec",
+    "count_rows",
+    "count",
+    "sum_of",
+    "min_of",
+    "max_of",
+    "avg_of",
+    "GroupBy",
+]
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate: output name, result type, and a fold over values.
+
+    ``column`` is ``None`` for COUNT(*) (the fold sees every row);
+    otherwise the fold sees the column's non-NULL values.
+    """
+
+    output: str
+    column: Optional[str]
+    data_type: DataType
+    fold: Callable[[List[Any]], Any]
+
+
+def count_rows(output: str = "count") -> AggregateSpec:
+    """COUNT(*): number of rows in the group."""
+    return AggregateSpec(output, None, DataType.INTEGER, len)
+
+
+def count(column: str, output: Optional[str] = None) -> AggregateSpec:
+    """COUNT(column): number of non-NULL values."""
+    return AggregateSpec(
+        output or f"count_{column.split('.')[-1]}",
+        column,
+        DataType.INTEGER,
+        len,
+    )
+
+
+def sum_of(column: str, output: Optional[str] = None) -> AggregateSpec:
+    """SUM(column); NULL for an all-NULL/empty group."""
+    return AggregateSpec(
+        output or f"sum_{column.split('.')[-1]}",
+        column,
+        DataType.FLOAT,
+        lambda values: float(sum(values)) if values else None,
+    )
+
+
+def min_of(column: str, output: Optional[str] = None) -> AggregateSpec:
+    return AggregateSpec(
+        output or f"min_{column.split('.')[-1]}",
+        column,
+        DataType.FLOAT,
+        lambda values: min(values) if values else None,
+    )
+
+
+def max_of(column: str, output: Optional[str] = None) -> AggregateSpec:
+    return AggregateSpec(
+        output or f"max_{column.split('.')[-1]}",
+        column,
+        DataType.FLOAT,
+        lambda values: max(values) if values else None,
+    )
+
+
+def avg_of(column: str, output: Optional[str] = None) -> AggregateSpec:
+    return AggregateSpec(
+        output or f"avg_{column.split('.')[-1]}",
+        column,
+        DataType.FLOAT,
+        lambda values: sum(values) / len(values) if values else None,
+    )
+
+
+class GroupBy(Operator):
+    """Hash grouping with aggregates; groups in first-seen order.
+
+    With an empty ``keys`` list, aggregates the whole input as one group
+    (like SQL's aggregate-without-GROUP-BY, including for empty input).
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        keys: Sequence[str],
+        aggregates: Sequence[AggregateSpec] = (),
+    ) -> None:
+        if not keys and not aggregates:
+            raise PlanError("GroupBy needs keys or aggregates")
+        names = [spec.output for spec in aggregates]
+        if len(set(names)) != len(names):
+            raise PlanError("duplicate aggregate output names")
+        self.child = child
+        self.keys = list(keys)
+        self.aggregates = list(aggregates)
+        key_columns = [child.output_schema.column(key) for key in self.keys]
+        aggregate_columns = [
+            Column(spec.output, spec.data_type) for spec in self.aggregates
+        ]
+        self.output_schema = Schema(key_columns + aggregate_columns)
+        self._key_indexes = [
+            child.output_schema.index_of(key) for key in self.keys
+        ]
+        self._value_indexes = [
+            None if spec.column is None else child.output_schema.index_of(spec.column)
+            for spec in self.aggregates
+        ]
+
+    def __iter__(self) -> Iterator[Row]:
+        groups: Dict[Tuple[Any, ...], List[Row]] = {}
+        for row in self.child:
+            key = tuple(row.values[index] for index in self._key_indexes)
+            groups.setdefault(key, []).append(row)
+        if not self.keys and not groups:
+            groups[()] = []  # global aggregate over empty input
+        for key, rows in groups.items():
+            values: List[Any] = list(key)
+            for spec, value_index in zip(self.aggregates, self._value_indexes):
+                if value_index is None:
+                    values.append(spec.fold(rows))
+                else:
+                    column_values = [
+                        row.values[value_index]
+                        for row in rows
+                        if row.values[value_index] is not None
+                    ]
+                    values.append(spec.fold(column_values))
+            yield Row(self.output_schema, values)

@@ -1,0 +1,65 @@
+"""Catalog: a registry of named tables.
+
+The catalog is the relational engine's entry point for name resolution:
+operators and the optimizer look tables up here rather than holding raw
+references, which keeps query descriptions serializable (they mention
+table *names*).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.errors import CatalogError
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """A mutable mapping of table name to :class:`Table`."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+
+    def create_table(self, name: str, schema: Schema) -> Table:
+        """Create and register an empty table. Raises on duplicates."""
+        if name in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        table = Table(name, schema)
+        self._tables[name] = table
+        return table
+
+    def register(self, table: Table) -> Table:
+        """Register an existing table under its own name."""
+        if table.name in self._tables:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table. Raises if it does not exist."""
+        if name not in self._tables:
+            raise CatalogError(f"table {name!r} does not exist")
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name. Raises :class:`CatalogError` if missing."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"table {name!r} does not exist") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def table_names(self) -> List[str]:
+        """All registered table names, in registration order."""
+        return list(self._tables)
+
+    def __repr__(self) -> str:
+        return f"Catalog({self.table_names()})"

@@ -1,0 +1,96 @@
+"""CSV import/export for tables.
+
+Useful for persisting generated workloads and for loading user data into
+the examples.  Values are serialized with Python's :mod:`csv` module;
+NULLs round-trip as empty fields, and numeric columns are parsed back
+according to the schema.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, List, Optional, Union
+
+from repro.errors import SchemaError
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+from repro.relational.types import DataType
+
+__all__ = ["save_table_csv", "load_table_csv"]
+
+
+def _serialize(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def _parse(text: str, data_type: DataType) -> Optional[Any]:
+    if text == "":
+        return None
+    if data_type is DataType.VARCHAR:
+        return text
+    if data_type is DataType.INTEGER:
+        return int(text)
+    if data_type is DataType.FLOAT:
+        return float(text)
+    if data_type is DataType.BOOLEAN:
+        lowered = text.lower()
+        if lowered in ("true", "1"):
+            return True
+        if lowered in ("false", "0"):
+            return False
+        raise SchemaError(f"cannot parse {text!r} as boolean")
+    raise SchemaError(f"unknown data type {data_type!r}")
+
+
+def save_table_csv(table: Table, path: Union[str, Path]) -> None:
+    """Write a table to CSV with a header row of bare column names."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.column_names())
+        for row in table.scan():
+            writer.writerow([_serialize(value) for value in row.values])
+
+
+def load_table_csv(name: str, schema: Schema, path: Union[str, Path]) -> Table:
+    """Read a CSV (with header) into a new table under ``schema``.
+
+    The header must list exactly the schema's bare column names, though
+    column order in the file may differ from the schema.
+    """
+    path = Path(path)
+    table = Table(name, schema)
+    expected = set(table.column_names())
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path}: empty CSV file") from None
+        if set(header) != expected:
+            raise SchemaError(
+                f"{path}: header {header} does not match schema columns "
+                f"{sorted(expected)}"
+            )
+        type_by_name = {
+            column.name: column.data_type for column in table.bare_schema
+        }
+        for line_number, record in enumerate(reader, start=2):
+            if len(record) != len(header):
+                raise SchemaError(
+                    f"{path}:{line_number}: expected {len(header)} fields, "
+                    f"got {len(record)}"
+                )
+            by_name = dict(zip(header, record))
+            table.insert(
+                [
+                    _parse(by_name[column], type_by_name[column])
+                    for column in table.column_names()
+                ]
+            )
+    return table

@@ -1,0 +1,328 @@
+"""Scalar and boolean expression trees over rows.
+
+These expressions form the relational engine's predicate language: column
+references, literals, comparisons, boolean connectives, and the SQL string
+operations (``LIKE``, ``CONTAINS``) that the paper's *Relational Text
+Processing* method relies on ("SQL provides some, though limited, ability
+to do string processing").
+
+Comparisons use SQL three-valued logic: any comparison involving NULL
+evaluates to ``None`` (unknown), and filters keep only rows where the
+predicate is strictly ``True``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.errors import ExpressionError, TypeMismatchError
+from repro.relational.row import Row
+
+__all__ = [
+    "Expression",
+    "ColumnRef",
+    "Literal",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "Like",
+    "Contains",
+    "InList",
+    "conjuncts",
+    "conjoin",
+]
+
+
+class Expression:
+    """Base class for all expressions.
+
+    Subclasses implement :meth:`evaluate` (value given a row) and
+    :meth:`referenced_columns` (the set of column names read).
+    """
+
+    def evaluate(self, row: Row) -> Any:
+        raise NotImplementedError
+
+    def referenced_columns(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    # Boolean combinators for fluent predicate construction.
+    def __and__(self, other: "Expression") -> "And":
+        return And((self, other))
+
+    def __or__(self, other: "Expression") -> "Or":
+        return Or((self, other))
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """A reference to a named column."""
+
+    name: str
+
+    def evaluate(self, row: Row) -> Any:
+        return row[self.name]
+
+    def referenced_columns(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def __repr__(self) -> str:
+        return f"col({self.name})"
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant value."""
+
+    value: Any
+
+    def evaluate(self, row: Row) -> Any:
+        return self.value
+
+    def referenced_columns(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+_COMPARATORS: dict = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    """A binary comparison: ``left <op> right`` with SQL NULL semantics."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise ExpressionError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, row: Row) -> Optional[bool]:
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if left is None or right is None:
+            return None
+        try:
+            return _COMPARATORS[self.op](left, right)
+        except TypeError as exc:
+            raise TypeMismatchError(
+                f"cannot compare {left!r} {self.op} {right!r}"
+            ) from exc
+
+    def referenced_columns(self) -> FrozenSet[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class And(Expression):
+    """Conjunction with three-valued logic."""
+
+    operands: Tuple[Expression, ...]
+
+    def __post_init__(self) -> None:
+        if not self.operands:
+            raise ExpressionError("And requires at least one operand")
+
+    def evaluate(self, row: Row) -> Optional[bool]:
+        saw_unknown = False
+        for operand in self.operands:
+            value = operand.evaluate(row)
+            if value is False:
+                return False
+            if value is None:
+                saw_unknown = True
+        return None if saw_unknown else True
+
+    def referenced_columns(self) -> FrozenSet[str]:
+        refs: FrozenSet[str] = frozenset()
+        for operand in self.operands:
+            refs |= operand.referenced_columns()
+        return refs
+
+    def __repr__(self) -> str:
+        return "(" + " and ".join(repr(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Expression):
+    """Disjunction with three-valued logic."""
+
+    operands: Tuple[Expression, ...]
+
+    def __post_init__(self) -> None:
+        if not self.operands:
+            raise ExpressionError("Or requires at least one operand")
+
+    def evaluate(self, row: Row) -> Optional[bool]:
+        saw_unknown = False
+        for operand in self.operands:
+            value = operand.evaluate(row)
+            if value is True:
+                return True
+            if value is None:
+                saw_unknown = True
+        return None if saw_unknown else False
+
+    def referenced_columns(self) -> FrozenSet[str]:
+        refs: FrozenSet[str] = frozenset()
+        for operand in self.operands:
+            refs |= operand.referenced_columns()
+        return refs
+
+    def __repr__(self) -> str:
+        return "(" + " or ".join(repr(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    """Negation with three-valued logic (NOT unknown = unknown)."""
+
+    operand: Expression
+
+    def evaluate(self, row: Row) -> Optional[bool]:
+        value = self.operand.evaluate(row)
+        if value is None:
+            return None
+        return not value
+
+    def referenced_columns(self) -> FrozenSet[str]:
+        return self.operand.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"(not {self.operand!r})"
+
+
+def _like_to_regex(pattern: str) -> "re.Pattern[str]":
+    """Translate a SQL LIKE pattern (``%``, ``_``) to an anchored regex."""
+    out = []
+    for char in pattern:
+        if char == "%":
+            out.append(".*")
+        elif char == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(char))
+    return re.compile("^" + "".join(out) + "$", re.DOTALL)
+
+
+@dataclass(frozen=True)
+class Like(Expression):
+    """SQL ``LIKE``: string pattern matching with ``%`` and ``_``."""
+
+    operand: Expression
+    pattern: str
+
+    def evaluate(self, row: Row) -> Optional[bool]:
+        value = self.operand.evaluate(row)
+        if value is None:
+            return None
+        if not isinstance(value, str):
+            raise TypeMismatchError(f"LIKE applied to non-string {value!r}")
+        return _like_to_regex(self.pattern).match(value) is not None
+
+    def referenced_columns(self) -> FrozenSet[str]:
+        return self.operand.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"({self.operand!r} like {self.pattern!r})"
+
+
+@dataclass(frozen=True)
+class Contains(Expression):
+    """Case-insensitive word/substring containment.
+
+    This models the SQL string processing the paper's RTP method uses to
+    check a join value against a fetched document field.  With
+    ``word_boundary=True`` (the default) the needle must appear as a whole
+    token, which matches the text system's word-level semantics.
+    """
+
+    haystack: Expression
+    needle: Expression
+    word_boundary: bool = True
+
+    def evaluate(self, row: Row) -> Optional[bool]:
+        haystack = self.haystack.evaluate(row)
+        needle = self.needle.evaluate(row)
+        if haystack is None or needle is None:
+            return None
+        if not isinstance(haystack, str) or not isinstance(needle, str):
+            raise TypeMismatchError(
+                f"CONTAINS applied to non-strings {haystack!r}, {needle!r}"
+            )
+        hay = haystack.lower()
+        ndl = needle.lower()
+        if not self.word_boundary:
+            return ndl in hay
+        pattern = r"(?<![0-9a-z])" + re.escape(ndl) + r"(?![0-9a-z])"
+        return re.search(pattern, hay) is not None
+
+    def referenced_columns(self) -> FrozenSet[str]:
+        return self.haystack.referenced_columns() | self.needle.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"contains({self.haystack!r}, {self.needle!r})"
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    """SQL ``IN (v1, v2, ...)`` over a literal value list."""
+
+    operand: Expression
+    values: Tuple[Any, ...]
+
+    def evaluate(self, row: Row) -> Optional[bool]:
+        value = self.operand.evaluate(row)
+        if value is None:
+            return None
+        return value in self.values
+
+    def referenced_columns(self) -> FrozenSet[str]:
+        return self.operand.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"({self.operand!r} in {list(self.values)!r})"
+
+
+def conjuncts(expression: Optional[Expression]) -> List[Expression]:
+    """Flatten an expression into its top-level AND conjuncts."""
+    if expression is None:
+        return []
+    if isinstance(expression, And):
+        out: List[Expression] = []
+        for operand in expression.operands:
+            out.extend(conjuncts(operand))
+        return out
+    return [expression]
+
+
+def conjoin(expressions: Sequence[Expression]) -> Optional[Expression]:
+    """Combine expressions with AND; ``None`` for an empty list."""
+    flat: List[Expression] = []
+    for expression in expressions:
+        flat.extend(conjuncts(expression))
+    if not flat:
+        return None
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))

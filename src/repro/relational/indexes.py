@@ -1,0 +1,106 @@
+"""Secondary indexes on in-memory tables.
+
+The paper's relational side is small, but the optimizer's ``joinPlan``
+step "considers access methods", so the engine provides a hash index for
+equality lookups and a sorted index for range scans.  Indexes are built
+eagerly over a table snapshot; they are read-only views (rebuild after
+mutating the table).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterator, List, Tuple
+
+from repro.errors import SchemaError
+from repro.relational.row import Row
+from repro.relational.table import Table
+
+__all__ = ["HashIndex", "SortedIndex"]
+
+
+class HashIndex:
+    """Hash index mapping a column value to matching rows."""
+
+    def __init__(self, table: Table, column: str) -> None:
+        self.table = table
+        self.column = column
+        self._buckets: Dict[Any, List[Row]] = {}
+        index = table.schema.index_of(
+            column if "." in column else f"{table.name}.{column}"
+        )
+        for row in table.scan():
+            value = row.values[index]
+            if value is None:
+                continue
+            self._buckets.setdefault(value, []).append(row)
+
+    def lookup(self, value: Any) -> List[Row]:
+        """Rows whose indexed column equals ``value`` (NULL matches nothing)."""
+        if value is None:
+            return []
+        return list(self._buckets.get(value, ()))
+
+    def distinct_keys(self) -> List[Any]:
+        """All distinct indexed values."""
+        return list(self._buckets)
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
+class SortedIndex:
+    """Sorted index supporting equality and range lookups.
+
+    NULL values are excluded from the index (SQL predicates never match
+    them).
+    """
+
+    def __init__(self, table: Table, column: str) -> None:
+        self.table = table
+        self.column = column
+        index = table.schema.index_of(
+            column if "." in column else f"{table.name}.{column}"
+        )
+        pairs: List[Tuple[Any, Row]] = []
+        for row in table.scan():
+            value = row.values[index]
+            if value is None:
+                continue
+            pairs.append((value, row))
+        pairs.sort(key=lambda pair: pair[0])
+        self._keys = [key for key, _ in pairs]
+        self._rows = [row for _, row in pairs]
+
+    def lookup(self, value: Any) -> List[Row]:
+        """Rows whose indexed column equals ``value``."""
+        if value is None:
+            return []
+        lo = bisect.bisect_left(self._keys, value)
+        hi = bisect.bisect_right(self._keys, value)
+        return self._rows[lo:hi]
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[Row]:
+        """Rows with indexed value in the given (optionally open) range."""
+        if low is None:
+            lo = 0
+        elif include_low:
+            lo = bisect.bisect_left(self._keys, low)
+        else:
+            lo = bisect.bisect_right(self._keys, low)
+        if high is None:
+            hi = len(self._keys)
+        elif include_high:
+            hi = bisect.bisect_right(self._keys, high)
+        else:
+            hi = bisect.bisect_left(self._keys, high)
+        return iter(self._rows[lo:hi])
+
+    def __len__(self) -> int:
+        return len(self._rows)

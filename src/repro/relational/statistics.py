@@ -1,0 +1,129 @@
+"""Relational-side statistics for the optimizer.
+
+The cost model of Section 4 consumes, for the relational operand of a
+foreign join: the row count ``N``, the per-column distinct counts ``N_i``,
+and selectivities of local (relational) selection predicates.  This module
+computes those from table data, mirroring what a System-R catalog would
+keep.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import StatisticsError
+from repro.relational.expressions import Expression
+from repro.relational.table import Table
+
+__all__ = ["ColumnStatistics", "TableStatistics", "collect_table_statistics"]
+
+
+@dataclass(frozen=True)
+class ColumnStatistics:
+    """Statistics for one column of one table."""
+
+    column: str
+    distinct_count: int
+    null_count: int
+    most_common: Tuple[Tuple[Any, int], ...]
+
+    @property
+    def top_frequency(self) -> int:
+        """Frequency of the most common non-NULL value (0 if empty)."""
+        if not self.most_common:
+            return 0
+        return self.most_common[0][1]
+
+
+@dataclass
+class TableStatistics:
+    """Statistics for one table: cardinality and per-column details."""
+
+    table_name: str
+    row_count: int
+    columns: Dict[str, ColumnStatistics] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStatistics:
+        """Statistics for one column (accepts bare or qualified names)."""
+        bare = name.split(".", 1)[-1] if "." in name else name
+        try:
+            return self.columns[bare]
+        except KeyError:
+            raise StatisticsError(
+                f"no statistics for column {name!r} of table {self.table_name!r}"
+            ) from None
+
+    def distinct_count(self, name: str) -> int:
+        """``N_i``: distinct non-NULL values of one column."""
+        return self.column(name).distinct_count
+
+    def selectivity_of_equality(self, name: str) -> float:
+        """Estimated selectivity of ``column = constant`` (uniform model)."""
+        stats = self.column(name)
+        if stats.distinct_count == 0:
+            return 0.0
+        return 1.0 / stats.distinct_count
+
+    def estimated_rows_after(self, predicate: Optional[Expression]) -> float:
+        """Crude row estimate after applying a predicate.
+
+        Without histograms per comparison operator, we use the standard
+        System-R defaults: 1/N_i for equality, 1/3 for ranges, 1/10
+        otherwise, multiplied over conjuncts.
+        """
+        from repro.relational.expressions import (
+            Comparison,
+            ColumnRef,
+            Like,
+            conjuncts,
+        )
+
+        if predicate is None:
+            return float(self.row_count)
+        selectivity = 1.0
+        for conjunct in conjuncts(predicate):
+            if isinstance(conjunct, Comparison) and isinstance(
+                conjunct.left, ColumnRef
+            ):
+                name = conjunct.left.name
+                if self._has_column(name):
+                    if conjunct.op == "=":
+                        selectivity *= self.selectivity_of_equality(name)
+                        continue
+                    if conjunct.op in ("<", "<=", ">", ">="):
+                        selectivity *= 1.0 / 3.0
+                        continue
+                    if conjunct.op == "!=":
+                        stats = self.column(name)
+                        if stats.distinct_count > 0:
+                            selectivity *= 1.0 - 1.0 / stats.distinct_count
+                        continue
+            if isinstance(conjunct, Like):
+                selectivity *= 0.1
+                continue
+            selectivity *= 0.1
+        return self.row_count * selectivity
+
+    def _has_column(self, name: str) -> bool:
+        bare = name.split(".", 1)[-1] if "." in name else name
+        return bare in self.columns
+
+
+def collect_table_statistics(
+    table: Table, most_common_k: int = 10
+) -> TableStatistics:
+    """Scan a table once and compute full statistics for every column."""
+    stats = TableStatistics(table_name=table.name, row_count=len(table))
+    for name in table.column_names():
+        values = table.column_values(name)
+        non_null = [value for value in values if value is not None]
+        counter = Counter(non_null)
+        stats.columns[name] = ColumnStatistics(
+            column=name,
+            distinct_count=len(counter),
+            null_count=len(values) - len(non_null),
+            most_common=tuple(counter.most_common(most_common_k)),
+        )
+    return stats

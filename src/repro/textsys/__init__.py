@@ -1,0 +1,82 @@
+"""Boolean text retrieval system substrate (the CMU Mercury stand-in).
+
+Implements the Section 2.1 model: documents with named text fields,
+positional inverted indexes, linear-time sorted-list set operations,
+field-scoped word/phrase/truncation/proximity terms with ``and``/``or``/
+``not`` connectives, short/long result forms, and a per-search term
+limit ``M``.
+"""
+
+from repro.textsys.analysis import is_phrase, normalize_term, tokenize, tokenize_with_positions
+from repro.textsys.batching import DEFAULT_BATCH_LIMIT, BatchingTextServer
+from repro.textsys.persistence import load_store, save_store
+from repro.textsys.vector import ScoredDocument, VectorSpaceEngine
+from repro.textsys.documents import Document, DocumentStore
+from repro.textsys.engine import EvaluationResult, evaluate, matches_document
+from repro.textsys.inverted_index import InvertedIndex
+from repro.textsys.parser import DEFAULT_FIELD_CODES, parse_search
+from repro.textsys.postings import (
+    Posting,
+    PostingList,
+    difference,
+    intersect,
+    positional_intersect,
+    union,
+)
+from repro.textsys.query import (
+    AndQuery,
+    NotQuery,
+    OrQuery,
+    PhraseQuery,
+    ProximityQuery,
+    SearchNode,
+    TermQuery,
+    TruncatedQuery,
+    and_all,
+    make_term,
+    or_all,
+)
+from repro.textsys.result import ResultSet
+from repro.textsys.server import DEFAULT_TERM_LIMIT, BooleanTextServer, ServerCounters
+
+__all__ = [
+    "Document",
+    "DocumentStore",
+    "InvertedIndex",
+    "Posting",
+    "PostingList",
+    "intersect",
+    "union",
+    "difference",
+    "positional_intersect",
+    "SearchNode",
+    "TermQuery",
+    "PhraseQuery",
+    "TruncatedQuery",
+    "ProximityQuery",
+    "AndQuery",
+    "OrQuery",
+    "NotQuery",
+    "make_term",
+    "and_all",
+    "or_all",
+    "parse_search",
+    "DEFAULT_FIELD_CODES",
+    "evaluate",
+    "matches_document",
+    "EvaluationResult",
+    "ResultSet",
+    "BooleanTextServer",
+    "BatchingTextServer",
+    "DEFAULT_BATCH_LIMIT",
+    "ServerCounters",
+    "DEFAULT_TERM_LIMIT",
+    "tokenize",
+    "tokenize_with_positions",
+    "normalize_term",
+    "is_phrase",
+    "save_store",
+    "load_store",
+    "VectorSpaceEngine",
+    "ScoredDocument",
+]

@@ -1,0 +1,90 @@
+"""Batched search interface (the Section 8 proposal, implemented).
+
+"If text systems provide the ability to accept multiple queries in one
+invocation and can return answers in a batched mode while maintaining
+the correspondence between each query and its answers, then (as in the
+case for semi-join) invocation and possibly transmission costs for the
+queries will be reduced."
+
+:class:`BatchingTextServer` wraps a :class:`BooleanTextServer` with a
+``search_batch`` operation: many searches travel in one invocation, each
+still subject to the per-search term limit, and the per-query answer
+correspondence is preserved — unlike OR-batched semi-joins, which lose
+it.  The batch size itself is bounded (``batch_limit``) the way a real
+protocol message would be.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+from repro.errors import TextSystemError
+from repro.textsys.query import SearchNode
+from repro.textsys.result import ResultSet
+from repro.textsys.server import BooleanTextServer
+
+__all__ = ["BatchingTextServer", "DEFAULT_BATCH_LIMIT"]
+
+#: Default maximum searches per batched invocation.
+DEFAULT_BATCH_LIMIT = 50
+
+
+class BatchingTextServer:
+    """A text server extended with multi-query invocations."""
+
+    def __init__(
+        self,
+        server: BooleanTextServer,
+        batch_limit: int = DEFAULT_BATCH_LIMIT,
+    ) -> None:
+        if batch_limit < 1:
+            raise TextSystemError("batch limit must be at least 1")
+        self.server = server
+        self.batch_limit = batch_limit
+
+    # Pass-throughs so a BatchingTextServer can stand in for the plain one.
+    @property
+    def store(self):
+        return self.server.store
+
+    @property
+    def index(self):
+        return self.server.index
+
+    @property
+    def counters(self):
+        return self.server.counters
+
+    @property
+    def document_count(self) -> int:
+        return self.server.document_count
+
+    @property
+    def term_limit(self) -> int:
+        return self.server.term_limit
+
+    def search(self, query: Union[SearchNode, str]) -> ResultSet:
+        return self.server.search(query)
+
+    def retrieve(self, docid: str):
+        return self.server.retrieve(docid)
+
+    def document_frequency(self, field: str, term: str) -> int:
+        return self.server.document_frequency(field, term)
+
+    def search_batch(
+        self, queries: Sequence[Union[SearchNode, str]]
+    ) -> List[ResultSet]:
+        """Evaluate many searches in one invocation.
+
+        Answers come back in query order (the correspondence Section 8
+        asks for).  Raises when the batch exceeds ``batch_limit``.
+        """
+        if not queries:
+            raise TextSystemError("a batch must contain at least one search")
+        if len(queries) > self.batch_limit:
+            raise TextSystemError(
+                f"batch of {len(queries)} searches exceeds the limit of "
+                f"{self.batch_limit}"
+            )
+        return [self.server.search(query) for query in queries]

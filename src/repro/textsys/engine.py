@@ -1,0 +1,162 @@
+"""Search evaluation over the inverted index.
+
+Evaluation follows the paper's processing model (Section 2.1): inverted
+lists are retrieved for each basic term and combined with linear-time
+sorted set operations.  :class:`EvaluationResult` carries both the
+matching documents and ``postings_processed`` — the sum of the lengths of
+every inverted list retrieved — which is exactly the quantity the cost
+model multiplies by ``c_p``.
+
+:func:`matches_document` is a brute-force reference evaluator used by the
+test suite to validate the index-based path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from typing import List, Tuple
+
+from repro.errors import TextSystemError
+from repro.textsys.analysis import tokenize
+from repro.textsys.documents import Document
+from repro.textsys.inverted_index import InvertedIndex
+from repro.textsys.postings import (
+    PostingList,
+    difference,
+    intersect,
+    positional_intersect,
+    union,
+)
+from repro.textsys.query import (
+    AndQuery,
+    NotQuery,
+    OrQuery,
+    PhraseQuery,
+    ProximityQuery,
+    SearchNode,
+    TermQuery,
+    TruncatedQuery,
+)
+
+__all__ = ["EvaluationResult", "evaluate", "matches_document"]
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Outcome of evaluating one search expression against the index."""
+
+    postings: PostingList
+    postings_processed: int
+
+    def doc_count(self) -> int:
+        return len(self.postings)
+
+
+def evaluate(index: InvertedIndex, query: SearchNode) -> EvaluationResult:
+    """Evaluate a Boolean search expression using inverted lists."""
+    postings, processed = _evaluate(index, query)
+    return EvaluationResult(postings=postings, postings_processed=processed)
+
+
+def _evaluate(index: InvertedIndex, query: SearchNode) -> Tuple[PostingList, int]:
+    if isinstance(query, TermQuery):
+        postings = index.lookup(query.field, query.term)
+        return postings, len(postings)
+
+    if isinstance(query, TruncatedQuery):
+        expansions = index.lookup_prefix(query.field, query.prefix)
+        processed = sum(len(postings) for _, postings in expansions)
+        if not expansions:
+            return PostingList(), 0
+        result = reduce(union, (postings for _, postings in expansions))
+        return result, processed
+
+    if isinstance(query, PhraseQuery):
+        lists = [index.lookup(query.field, word) for word in query.words]
+        processed = sum(len(postings) for postings in lists)
+        current = lists[0]
+        for following in lists[1:]:
+            current = positional_intersect(current, following, min_gap=1, max_gap=1)
+            if not len(current):
+                break
+        return PostingList.from_docs(current.docs()), processed
+
+    if isinstance(query, ProximityQuery):
+        left = index.lookup(query.field, query.left)
+        right = index.lookup(query.field, query.right)
+        processed = len(left) + len(right)
+        near = positional_intersect(
+            left, right, min_gap=-query.distance, max_gap=query.distance
+        )
+        return PostingList.from_docs(near.docs()), processed
+
+    if isinstance(query, AndQuery):
+        total = 0
+        current: PostingList = None  # type: ignore[assignment]
+        for operand in query.operands:
+            postings, processed = _evaluate(index, operand)
+            total += processed
+            current = postings if current is None else intersect(current, postings)
+        return current, total
+
+    if isinstance(query, OrQuery):
+        total = 0
+        current = PostingList()
+        for operand in query.operands:
+            postings, processed = _evaluate(index, operand)
+            total += processed
+            current = union(current, postings)
+        return current, total
+
+    if isinstance(query, NotQuery):
+        postings, processed = _evaluate(index, query.operand)
+        return difference(index.all_docs(), postings), processed
+
+    raise TextSystemError(f"unknown search node {type(query).__name__}")
+
+
+def matches_document(document: Document, query: SearchNode) -> bool:
+    """Brute-force reference semantics: does the document match the query?
+
+    Used in tests to cross-check :func:`evaluate`; never used in the query
+    processing path (the paper assumes the text system only exposes
+    search/retrieve).
+    """
+    if isinstance(query, TermQuery):
+        return query.term in tokenize(document.field(query.field))
+
+    if isinstance(query, TruncatedQuery):
+        return any(
+            token.startswith(query.prefix)
+            for token in tokenize(document.field(query.field))
+        )
+
+    if isinstance(query, PhraseQuery):
+        tokens = tokenize(document.field(query.field))
+        width = len(query.words)
+        return any(
+            tuple(tokens[start : start + width]) == query.words
+            for start in range(len(tokens) - width + 1)
+        )
+
+    if isinstance(query, ProximityQuery):
+        tokens = tokenize(document.field(query.field))
+        left_positions = [i for i, token in enumerate(tokens) if token == query.left]
+        right_positions = [i for i, token in enumerate(tokens) if token == query.right]
+        return any(
+            abs(right - left) <= query.distance
+            for left in left_positions
+            for right in right_positions
+        )
+
+    if isinstance(query, AndQuery):
+        return all(matches_document(document, operand) for operand in query.operands)
+
+    if isinstance(query, OrQuery):
+        return any(matches_document(document, operand) for operand in query.operands)
+
+    if isinstance(query, NotQuery):
+        return not matches_document(document, query.operand)
+
+    raise TextSystemError(f"unknown search node {type(query).__name__}")

@@ -1,0 +1,177 @@
+"""Posting lists and sorted-list set operations.
+
+Per Section 2.1: "In an inverted index, each word is associated with an
+inverted list of postings that record the docids of documents in which the
+word appears. ... Typically the lists are sorted and set operations take
+time linear in the lengths of the lists."
+
+A :class:`PostingList` is a docid-sorted sequence of
+:class:`Posting` (docid + word positions within the field).  The merge
+operations below are the linear-time sorted-list algorithms the paper's
+cost model assumes; they operate on internal integer docid ordinals
+assigned by the index, so comparisons are cheap and ordering is total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+__all__ = [
+    "Posting",
+    "PostingList",
+    "intersect",
+    "union",
+    "difference",
+    "positional_intersect",
+]
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One posting: a document ordinal plus the word positions of the term.
+
+    ``doc`` is the index-internal integer ordinal of the document (assigned
+    in indexing order), which keeps list merges cheap and docid-order
+    total.  ``positions`` is a sorted tuple of word offsets in the field.
+    """
+
+    doc: int
+    positions: Tuple[int, ...] = ()
+
+
+class PostingList:
+    """A docid-ordinal-sorted, immutable list of postings."""
+
+    __slots__ = ("_postings",)
+
+    def __init__(self, postings: Iterable[Posting] = ()) -> None:
+        postings = list(postings)
+        for earlier, later in zip(postings, postings[1:]):
+            if earlier.doc >= later.doc:
+                raise ValueError("postings must be strictly sorted by doc")
+        self._postings: Tuple[Posting, ...] = tuple(postings)
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    def __iter__(self) -> Iterator[Posting]:
+        return iter(self._postings)
+
+    def __getitem__(self, index: int) -> Posting:
+        return self._postings[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PostingList):
+            return NotImplemented
+        return self._postings == other._postings
+
+    def __repr__(self) -> str:
+        return f"PostingList({[posting.doc for posting in self._postings]})"
+
+    def docs(self) -> List[int]:
+        """The document ordinals, sorted ascending."""
+        return [posting.doc for posting in self._postings]
+
+    @classmethod
+    def from_docs(cls, docs: Iterable[int]) -> "PostingList":
+        """Build a positions-free list from sorted doc ordinals."""
+        return cls(Posting(doc) for doc in docs)
+
+
+def intersect(left: PostingList, right: PostingList) -> PostingList:
+    """Docs present in both lists (positions dropped)."""
+    out: List[Posting] = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        a, b = left[i].doc, right[j].doc
+        if a == b:
+            out.append(Posting(a))
+            i += 1
+            j += 1
+        elif a < b:
+            i += 1
+        else:
+            j += 1
+    return PostingList(out)
+
+
+def union(left: PostingList, right: PostingList) -> PostingList:
+    """Docs present in either list (positions dropped)."""
+    out: List[Posting] = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        a, b = left[i].doc, right[j].doc
+        if a == b:
+            out.append(Posting(a))
+            i += 1
+            j += 1
+        elif a < b:
+            out.append(Posting(a))
+            i += 1
+        else:
+            out.append(Posting(b))
+            j += 1
+    while i < len(left):
+        out.append(Posting(left[i].doc))
+        i += 1
+    while j < len(right):
+        out.append(Posting(right[j].doc))
+        j += 1
+    return PostingList(out)
+
+
+def difference(left: PostingList, right: PostingList) -> PostingList:
+    """Docs in ``left`` but not in ``right`` (positions dropped)."""
+    out: List[Posting] = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        a, b = left[i].doc, right[j].doc
+        if a == b:
+            i += 1
+            j += 1
+        elif a < b:
+            out.append(Posting(a))
+            i += 1
+        else:
+            j += 1
+    while i < len(left):
+        out.append(Posting(left[i].doc))
+        i += 1
+    return PostingList(out)
+
+
+def positional_intersect(
+    left: PostingList, right: PostingList, min_gap: int, max_gap: int
+) -> PostingList:
+    """Docs where some position pair satisfies ``min_gap <= p_r - p_l <= max_gap``.
+
+    The surviving postings carry the matching *right* positions, so chains
+    of positional intersections implement multi-word phrases: for a phrase
+    ``w1 w2 w3`` fold with ``min_gap = max_gap = 1``.  For proximity
+    ``w1 nearN w2`` use ``min_gap = -N, max_gap = N``.
+    """
+    out: List[Posting] = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        a, b = left[i].doc, right[j].doc
+        if a == b:
+            matched = tuple(
+                sorted(
+                    {
+                        right_pos
+                        for left_pos in left[i].positions
+                        for right_pos in right[j].positions
+                        if min_gap <= right_pos - left_pos <= max_gap
+                    }
+                )
+            )
+            if matched:
+                out.append(Posting(a, matched))
+            i += 1
+            j += 1
+        elif a < b:
+            i += 1
+        else:
+            j += 1
+    return PostingList(out)

@@ -1,0 +1,44 @@
+"""Search result sets.
+
+"Documents that exactly match a search expression are returned as the
+result set.  This set contains the docids of matching documents and some
+of the text fields" (the *short form*); "the user may subsequently
+retrieve the entire document using its docid" (the *long form*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.textsys.documents import Document
+
+__all__ = ["ResultSet"]
+
+
+@dataclass(frozen=True)
+class ResultSet:
+    """A short-form result set: matching docids plus short-form documents.
+
+    ``postings_processed`` records the sum of inverted-list lengths the
+    engine read to answer the search — the quantity the cost model
+    multiplies by ``c_p``.
+    """
+
+    docids: Tuple[str, ...]
+    documents: Tuple[Document, ...]
+    postings_processed: int
+
+    def __len__(self) -> int:
+        return len(self.docids)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self.documents)
+
+    def __bool__(self) -> bool:
+        return bool(self.docids)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the search matched nothing (a *fail-query*)."""
+        return not self.docids

@@ -1,0 +1,137 @@
+"""The Boolean text retrieval server (the Mercury stand-in).
+
+:class:`BooleanTextServer` is the *only* interface the database side may
+use — the loose-integration assumption of Section 2.3.  It exposes
+exactly two operations:
+
+- :meth:`search` — evaluate a Boolean search expression and return the
+  short-form result set (docids plus short fields), subject to the
+  per-search basic-term limit ``M`` (Mercury allowed 70);
+- :meth:`retrieve` — fetch one document's long form by docid.
+
+The server keeps usage counters (:class:`ServerCounters`) so that callers
+— the gateway's metered client in particular — can account for
+invocations, postings processed, and documents transmitted in each form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Union
+
+from repro.errors import SearchLimitExceeded, TextSystemError
+from repro.textsys.documents import Document, DocumentStore
+from repro.textsys.engine import evaluate
+from repro.textsys.inverted_index import InvertedIndex
+from repro.textsys.parser import parse_search
+from repro.textsys.query import SearchNode
+from repro.textsys.result import ResultSet
+
+__all__ = ["ServerCounters", "BooleanTextServer", "DEFAULT_TERM_LIMIT"]
+
+#: Mercury's per-search basic-term limit (Section 3.2).
+DEFAULT_TERM_LIMIT = 70
+
+
+@dataclass
+class ServerCounters:
+    """Cumulative usage counters, reset with :meth:`reset`."""
+
+    searches: int = 0
+    postings_processed: int = 0
+    short_documents: int = 0
+    long_documents: int = 0
+
+    def reset(self) -> None:
+        self.searches = 0
+        self.postings_processed = 0
+        self.short_documents = 0
+        self.long_documents = 0
+
+    def snapshot(self) -> "ServerCounters":
+        return ServerCounters(
+            searches=self.searches,
+            postings_processed=self.postings_processed,
+            short_documents=self.short_documents,
+            long_documents=self.long_documents,
+        )
+
+
+class BooleanTextServer:
+    """An inversion-based Boolean text retrieval system."""
+
+    def __init__(
+        self,
+        store: DocumentStore,
+        term_limit: int = DEFAULT_TERM_LIMIT,
+    ) -> None:
+        if term_limit < 1:
+            raise TextSystemError("term limit must be at least 1")
+        self.store = store
+        self.term_limit = term_limit
+        self.index = InvertedIndex(store)
+        self.counters = ServerCounters()
+
+    # ------------------------------------------------------------------
+    # the public (loose-integration) API
+    # ------------------------------------------------------------------
+    @property
+    def document_count(self) -> int:
+        """``D``: the size of the collection (published meta information)."""
+        return self.index.document_count
+
+    def search(self, query: Union[SearchNode, str]) -> ResultSet:
+        """Run one Boolean search; returns the short-form result set.
+
+        Raises :class:`SearchLimitExceeded` when the expression uses more
+        than ``term_limit`` basic search terms.
+        """
+        if isinstance(query, str):
+            query = parse_search(query)
+        used = query.term_count()
+        if used > self.term_limit:
+            raise SearchLimitExceeded(
+                f"search uses {used} basic terms; the limit is {self.term_limit}"
+            )
+        outcome = evaluate(self.index, query)
+        docids = tuple(self.index.docid_of(posting.doc) for posting in outcome.postings)
+        documents = tuple(
+            self.store.get(docid).short_form(self.store.short_fields)
+            for docid in docids
+        )
+        self.counters.searches += 1
+        self.counters.postings_processed += outcome.postings_processed
+        self.counters.short_documents += len(docids)
+        return ResultSet(
+            docids=docids,
+            documents=documents,
+            postings_processed=outcome.postings_processed,
+        )
+
+    def retrieve(self, docid: str) -> Document:
+        """Fetch one document's long form by docid."""
+        document = self.store.get(docid)
+        self.counters.long_documents += 1
+        return document
+
+    def retrieve_many(self, docids: Iterable[str]) -> List[Document]:
+        """Fetch several long forms (each is a separate retrieval)."""
+        return [self.retrieve(docid) for docid in docids]
+
+    # ------------------------------------------------------------------
+    # meta information (Section 2.3 allows extracting statistics)
+    # ------------------------------------------------------------------
+    def document_frequency(self, field: str, term: str) -> int:
+        """How many documents contain ``term`` in ``field``.
+
+        This is meta information of the kind Section 2.3 / 4.2 assumes can
+        be extracted; the sampling estimator uses probe-like searches
+        instead when a system does not publish it.
+        """
+        return self.index.document_frequency(field, term)
+
+    def __repr__(self) -> str:
+        return (
+            f"BooleanTextServer({self.document_count} documents, "
+            f"fields={list(self.store.field_names)}, M={self.term_limit})"
+        )

@@ -1,0 +1,139 @@
+"""A vector-space retrieval engine — and why the paper's techniques
+break on it (Section 8).
+
+"Another natural question is whether our techniques can be used for text
+systems that are based on other retrieval models (e.g., vector-space,
+probabilistic) … In particular, adding predicates in a query in these
+text systems may result in more answers.  In contrast, our techniques
+rely on the traditional semantics of predicates.  Thus … our techniques
+will not be directly applicable in such systems."
+
+:class:`VectorSpaceEngine` implements classic TF–IDF / cosine ranking
+over the same document collection the Boolean server indexes.  A query
+is a bag of terms; the result is the set of documents whose similarity
+exceeds a threshold (or the top-*k*).  The test suite uses it to
+*demonstrate* the paper's point: query results are **not monotone** in
+the predicate set — adding a term can add documents — so a failed
+"probe" on a term subset proves nothing about the full query, and
+probe-based pruning is unsound here.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import TextSystemError, UnknownFieldError
+from repro.textsys.analysis import tokenize
+from repro.textsys.documents import DocumentStore
+
+__all__ = ["ScoredDocument", "VectorSpaceEngine"]
+
+
+@dataclass(frozen=True)
+class ScoredDocument:
+    """One ranked answer: a docid and its cosine similarity."""
+
+    docid: str
+    score: float
+
+
+class VectorSpaceEngine:
+    """TF–IDF / cosine retrieval over one field of a document store."""
+
+    def __init__(self, store: DocumentStore, field: str) -> None:
+        if not store.has_field(field):
+            raise UnknownFieldError(f"unknown text field {field!r}")
+        self.store = store
+        self.field = field
+        self._document_count = len(store)
+        # term -> {docid: term frequency}
+        self._term_documents: Dict[str, Dict[str, int]] = defaultdict(dict)
+        self._norms: Dict[str, float] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        frequencies: Dict[str, Counter] = {}
+        for document in self.store:
+            counts = Counter(tokenize(document.field(self.field)))
+            frequencies[document.docid] = counts
+            for term, frequency in counts.items():
+                self._term_documents[term][document.docid] = frequency
+        for docid, counts in frequencies.items():
+            norm_squared = 0.0
+            for term, frequency in counts.items():
+                weight = self._weight(term, frequency)
+                norm_squared += weight * weight
+            self._norms[docid] = math.sqrt(norm_squared)
+
+    def _idf(self, term: str) -> float:
+        document_frequency = len(self._term_documents.get(term, ()))
+        if document_frequency == 0:
+            return 0.0
+        return math.log((1 + self._document_count) / (1 + document_frequency)) + 1.0
+
+    def _weight(self, term: str, frequency: int) -> float:
+        if frequency <= 0:
+            return 0.0
+        return (1.0 + math.log(frequency)) * self._idf(term)
+
+    # ------------------------------------------------------------------
+    def score(self, docid: str, terms: Sequence[str]) -> float:
+        """Cosine similarity between a document and a bag of query terms."""
+        query_counts = Counter(
+            token for term in terms for token in tokenize(term)
+        )
+        if not query_counts:
+            return 0.0
+        query_norm_squared = 0.0
+        dot = 0.0
+        for term, query_frequency in query_counts.items():
+            query_weight = (1.0 + math.log(query_frequency)) * self._idf(term)
+            query_norm_squared += query_weight * query_weight
+            document_frequency = self._term_documents.get(term, {}).get(docid, 0)
+            dot += query_weight * self._weight(term, document_frequency)
+        document_norm = self._norms.get(docid, 0.0)
+        if dot == 0.0 or document_norm == 0.0 or query_norm_squared == 0.0:
+            return 0.0
+        return dot / (document_norm * math.sqrt(query_norm_squared))
+
+    def search(
+        self,
+        terms: Sequence[str],
+        top_k: Optional[int] = 10,
+        threshold: float = 0.0,
+    ) -> List[ScoredDocument]:
+        """Rank documents against a bag of terms.
+
+        Returns documents with score above ``threshold``, best first,
+        truncated to ``top_k`` (``None`` for all).  Note the semantics:
+        a document matching *any* query term can appear — this is where
+        Boolean monotonicity dies.
+        """
+        if top_k is not None and top_k < 1:
+            raise TextSystemError("top_k must be positive when given")
+        candidates = set()
+        for term in terms:
+            for token in tokenize(term):
+                candidates.update(self._term_documents.get(token, ()))
+        scored = [
+            ScoredDocument(docid, self.score(docid, terms))
+            for docid in candidates
+        ]
+        scored = [entry for entry in scored if entry.score > threshold]
+        scored.sort(key=lambda entry: (-entry.score, entry.docid))
+        if top_k is not None:
+            scored = scored[:top_k]
+        return scored
+
+    def result_docids(
+        self,
+        terms: Sequence[str],
+        top_k: Optional[int] = 10,
+        threshold: float = 0.0,
+    ) -> List[str]:
+        """Just the docids of :meth:`search`."""
+        return [entry.docid for entry in self.search(terms, top_k, threshold)]

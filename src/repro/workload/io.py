@@ -1,0 +1,94 @@
+"""Persisting whole scenarios to disk.
+
+:func:`save_scenario` writes a scenario's relational tables (CSV, one
+file per table) and its document collection (JSON-lines) into a
+directory, plus a small manifest; :func:`load_scenario_data` reads them
+back into a fresh catalog and text server.  Useful for inspecting the
+synthetic workloads with external tools and for pinning a generated
+world across library versions.
+
+Planted parameters and the canonical query definitions are code, not
+data, so a reloaded scenario exposes the raw relations and corpus rather
+than the Q1–Q5 helpers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.errors import WorkloadError
+from repro.relational.catalog import Catalog
+from repro.relational.csv_io import load_table_csv, save_table_csv
+from repro.relational.schema import Column, Schema
+from repro.relational.types import DataType
+from repro.textsys.persistence import load_store, save_store
+from repro.textsys.server import BooleanTextServer
+from repro.workload.scenarios import Scenario
+
+__all__ = ["save_scenario", "load_scenario_data"]
+
+_MANIFEST = "scenario.json"
+_CORPUS = "corpus.jsonl"
+
+
+def save_scenario(scenario: Scenario, directory: Union[str, Path]) -> None:
+    """Write tables, corpus and a manifest into ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    tables = []
+    for table in scenario.catalog:
+        save_table_csv(table, directory / f"{table.name}.csv")
+        tables.append(
+            {
+                "name": table.name,
+                "columns": [
+                    {"name": column.name, "type": column.data_type.value}
+                    for column in table.bare_schema
+                ],
+            }
+        )
+    save_store(scenario.server.store, directory / _CORPUS)
+    manifest = {
+        "format": "repro-scenario-v1",
+        "tables": tables,
+        "term_limit": scenario.server.term_limit,
+        "parameters": scenario.parameters,
+    }
+    (directory / _MANIFEST).write_text(
+        json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8"
+    )
+
+
+def load_scenario_data(
+    directory: Union[str, Path],
+) -> Tuple[Catalog, BooleanTextServer, Dict]:
+    """Read back what :func:`save_scenario` wrote.
+
+    Returns ``(catalog, server, parameters)``.
+    """
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST
+    if not manifest_path.exists():
+        raise WorkloadError(f"{directory}: no scenario manifest found")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    if manifest.get("format") != "repro-scenario-v1":
+        raise WorkloadError(
+            f"{directory}: unknown scenario format {manifest.get('format')!r}"
+        )
+
+    catalog = Catalog()
+    for entry in manifest["tables"]:
+        schema = Schema(
+            Column(column["name"], DataType(column["type"]))
+            for column in entry["columns"]
+        )
+        table = load_table_csv(
+            entry["name"], schema, directory / f"{entry['name']}.csv"
+        )
+        catalog.register(table)
+    store = load_store(directory / _CORPUS)
+    server = BooleanTextServer(store, term_limit=manifest["term_limit"])
+    return catalog, server, manifest.get("parameters", {})

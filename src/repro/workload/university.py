@@ -1,0 +1,89 @@
+"""The university CS-department relational database (Section 7's setup).
+
+"On the database end, we created a relational database that models a
+university computer science department."  Three tables:
+
+- ``student(name, area, year, advisor, dept)``
+- ``faculty(name, dept)``
+- ``project(name, sponsor, member)``
+
+Row values (names, project names) come from reserved single-token pools
+shared with the corpus generator, so the relational side and the text
+side agree about which join values exist.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.relational.catalog import Catalog
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+from repro.relational.types import DataType
+
+__all__ = [
+    "STUDENT_SCHEMA",
+    "FACULTY_SCHEMA",
+    "PROJECT_SCHEMA",
+    "build_student_table",
+    "build_faculty_table",
+    "build_project_table",
+]
+
+STUDENT_SCHEMA = Schema.of(
+    ("name", DataType.VARCHAR),
+    ("area", DataType.VARCHAR),
+    ("year", DataType.INTEGER),
+    ("advisor", DataType.VARCHAR),
+    ("dept", DataType.VARCHAR),
+)
+
+FACULTY_SCHEMA = Schema.of(
+    ("name", DataType.VARCHAR),
+    ("dept", DataType.VARCHAR),
+)
+
+PROJECT_SCHEMA = Schema.of(
+    ("name", DataType.VARCHAR),
+    ("sponsor", DataType.VARCHAR),
+    ("member", DataType.VARCHAR),
+)
+
+
+def build_student_table(
+    catalog: Catalog,
+    records: Sequence[Tuple[str, str, int, str, str]],
+    table_name: str = "student",
+) -> Table:
+    """Create and fill the ``student`` table from explicit records."""
+    table = catalog.create_table(table_name, STUDENT_SCHEMA)
+    for record in records:
+        table.insert(list(record))
+    return table
+
+
+def build_faculty_table(
+    catalog: Catalog,
+    records: Sequence[Tuple[str, str]],
+    table_name: str = "faculty",
+) -> Table:
+    """Create and fill the ``faculty`` table from explicit records."""
+    table = catalog.create_table(table_name, FACULTY_SCHEMA)
+    for record in records:
+        table.insert(list(record))
+    return table
+
+
+def build_project_table(
+    catalog: Catalog,
+    memberships: Sequence[Tuple[str, str, str]],
+    table_name: str = "project",
+) -> Table:
+    """Create and fill the ``project`` table from (name, sponsor, member)."""
+    table = catalog.create_table(table_name, PROJECT_SCHEMA)
+    for record in memberships:
+        table.insert(list(record))
+    return table

@@ -1,0 +1,89 @@
+"""Vocabulary and name generation for synthetic workloads.
+
+Background document text is drawn from a Zipf-distributed vocabulary
+(word frequencies in real corpora are Zipfian, which gives inverted
+lists the skewed length distribution the cost model's postings term
+cares about).  Join values (student names, project names, ...) come from
+*reserved pools*: realistic stems with numeric suffixes, guaranteed
+disjoint from the background vocabulary and from each other, so planted
+selectivities and fanouts are exact.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+__all__ = [
+    "BACKGROUND_WORDS",
+    "NAME_STEMS",
+    "zipf_word",
+    "zipf_text",
+    "reserved_pool",
+]
+
+#: Background vocabulary stems; expanded with numeric suffixes to reach
+#: the requested vocabulary size.
+BACKGROUND_WORDS: List[str] = [
+    "algorithm", "system", "database", "query", "index", "retrieval",
+    "parallel", "distributed", "network", "protocol", "cache", "memory",
+    "storage", "transaction", "recovery", "concurrency", "optimization",
+    "performance", "evaluation", "analysis", "model", "framework",
+    "architecture", "language", "compiler", "semantics", "logic",
+    "inference", "learning", "knowledge", "representation", "planning",
+    "search", "heuristic", "complexity", "graph", "tree", "hash",
+    "sorting", "scheduling", "replication", "consistency", "availability",
+    "partition", "stream", "filter", "aggregation", "join", "selection",
+    "projection", "relational", "object", "oriented", "extensible",
+    "federated", "mediator", "wrapper", "interface", "specification",
+    "verification", "testing", "simulation", "measurement", "benchmark",
+    "workload", "latency", "throughput", "bandwidth", "clustering",
+    "classification", "recognition", "vision", "speech", "translation",
+]
+
+#: Stems for person/project name pools (suffixed with indexes).
+NAME_STEMS: List[str] = [
+    "garcia", "ullman", "gravano", "radhika", "chaudhuri", "dayal",
+    "carey", "stonebraker", "dewitt", "selinger", "astrahan", "gray",
+    "mohan", "bernstein", "abiteboul", "widom", "naughton", "ioannidis",
+    "ramakrishnan", "salton", "faloutsos", "croft", "kao", "pham",
+    "desmedt", "hanson", "keller", "wiederhold", "ceri", "navathe",
+]
+
+
+def zipf_word(rng: random.Random, vocabulary: Sequence[str], skew: float = 1.1) -> str:
+    """Draw one word with an approximate Zipf(skew) rank distribution.
+
+    Uses inverse-CDF sampling over ranks via the power-law approximation
+    ``rank ~ u^(-1/(skew-1))`` truncated to the vocabulary size — cheap
+    and close enough for workload purposes.
+    """
+    size = len(vocabulary)
+    u = rng.random()
+    # Avoid u == 0; map the uniform draw to a heavy-tailed rank.
+    rank = int(min(size - 1, (size ** (u ** skew)) - 1))
+    return vocabulary[rank]
+
+
+def zipf_text(
+    rng: random.Random,
+    vocabulary: Sequence[str],
+    word_count: int,
+    skew: float = 1.1,
+) -> str:
+    """A space-joined Zipfian word sequence of the given length."""
+    return " ".join(zipf_word(rng, vocabulary, skew) for _ in range(word_count))
+
+
+def reserved_pool(prefix: str, count: int, rng: random.Random) -> List[str]:
+    """``count`` unique, single-token values disjoint from everything else.
+
+    Values look like ``garcia042x7`` — a realistic stem, a pool index,
+    and the pool prefix — and tokenize to exactly one word, so each value
+    owns exactly one inverted-list entry.
+    """
+    values = []
+    for index in range(count):
+        stem = NAME_STEMS[rng.randrange(len(NAME_STEMS))]
+        values.append(f"{stem}{index:03d}{prefix}")
+    return values

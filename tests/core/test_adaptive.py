@@ -1,0 +1,84 @@
+"""Tests for runtime re-optimization (the [CDY] fetch guard + fallback)."""
+
+import pytest
+
+from repro.core.adaptive import execute_adaptively
+from repro.core.inputs import build_cost_inputs
+from repro.core.joinmethods import TupleSubstitution
+from repro.core.query import TextJoinPredicate, TextJoinQuery
+from repro.errors import OptimizationError
+
+
+def q4_query():
+    return TextJoinQuery(
+        relation="student",
+        join_predicates=(
+            TextJoinPredicate("student.advisor", "author"),
+            TextJoinPredicate("student.name", "author"),
+        ),
+    )
+
+
+class TestHappyPath:
+    def test_executes_best_choice(self, tiny_context):
+        query = q4_query()
+        inputs = build_cost_inputs(query, tiny_context)
+        adaptive = execute_adaptively(query, tiny_context, inputs)
+        assert not adaptive.fell_back
+        assert len(adaptive.attempts) == 1
+        assert not adaptive.attempts[0].aborted
+        reference = TupleSubstitution().execute(query, tiny_context)
+        assert adaptive.execution.result_keys() == reference.result_keys()
+
+    def test_total_cost_covers_run(self, tiny_context):
+        query = q4_query()
+        inputs = build_cost_inputs(query, tiny_context)
+        adaptive = execute_adaptively(query, tiny_context, inputs)
+        assert adaptive.total_cost >= adaptive.execution.cost.total
+
+
+class TestMisestimates:
+    def _lying_inputs(self, context, query):
+        """Statistics that wildly underestimate the fetch volume."""
+        from repro.gateway.statistics import (
+            PredicateStatistics,
+            TextStatisticsRegistry,
+        )
+
+        registry = TextStatisticsRegistry()
+        # Claim advisors match nothing-ish: tiny fanout, tiny selectivity.
+        registry.put(
+            PredicateStatistics("student.advisor", "author", 0.01, 0.001)
+        )
+        registry.put(PredicateStatistics("student.name", "author", 0.01, 0.001))
+        return build_cost_inputs(query, context, registry=registry)
+
+    def test_guard_aborts_and_falls_back(self, tiny_context):
+        query = q4_query()
+        inputs = self._lying_inputs(tiny_context, query)
+        adaptive = execute_adaptively(
+            query, tiny_context, inputs, safety_factor=0.001
+        )
+        # Under a near-zero safety factor, any fetch trips the P+RTP guard;
+        # execution must still complete via a fallback method.
+        reference = TupleSubstitution().execute(query, tiny_context)
+        assert adaptive.execution.result_keys() == reference.result_keys()
+        if adaptive.fell_back:
+            assert adaptive.attempts[0].aborted
+            assert "cap" in (adaptive.attempts[0].reason or "")
+
+    def test_fallback_cost_includes_wasted_work(self, tiny_context):
+        query = q4_query()
+        inputs = self._lying_inputs(tiny_context, query)
+        adaptive = execute_adaptively(
+            query, tiny_context, inputs, safety_factor=0.001
+        )
+        assert adaptive.total_cost >= adaptive.execution.cost.total
+
+
+class TestValidation:
+    def test_bad_safety_factor(self, tiny_context):
+        query = q4_query()
+        inputs = build_cost_inputs(query, tiny_context)
+        with pytest.raises(OptimizationError):
+            execute_adaptively(query, tiny_context, inputs, safety_factor=0)

@@ -1,0 +1,147 @@
+"""Tests for the bushy execution space (and multi-join long_form)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.executor import execute_plan
+from repro.core.joinmethods.base import JoinContext
+from repro.core.optimizer.enumerate import optimize_multijoin
+from repro.core.optimizer.estimator import PlanEstimator
+from repro.core.optimizer.multiquery import MultiJoinQuery, RelationalJoinPredicate
+from repro.core.query import TextJoinPredicate, TextSelection
+from repro.gateway.client import TextClient
+from repro.relational.catalog import Catalog
+from repro.relational.expressions import ColumnRef, Comparison
+from repro.relational.schema import Schema
+from repro.relational.types import DataType
+from repro.textsys.documents import DocumentStore
+from repro.textsys.server import BooleanTextServer
+
+from tests.core.test_multijoin_properties import (
+    plan_result,
+    random_world,
+    reference_result,
+)
+
+
+class TestBushyCorrectness:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_bushy_matches_reference(self, seed):
+        catalog, server, query = random_world(seed)
+        expected = reference_result(catalog, server, query)
+        context = JoinContext(catalog, TextClient(server))
+        estimator = PlanEstimator(query, context)
+        optimized = optimize_multijoin(query, estimator, space="bushy")
+        execution = execute_plan(
+            optimized.plan, query, JoinContext(catalog, TextClient(server))
+        )
+        assert plan_result(execution, query) == expected, seed
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_bushy_never_worse_than_extended(self, seed):
+        catalog, server, query = random_world(seed)
+        costs = {}
+        for space in ("extended", "bushy"):
+            context = JoinContext(catalog, TextClient(server))
+            estimator = PlanEstimator(query, context)
+            costs[space] = optimize_multijoin(
+                query, estimator, space=space
+            ).estimated_cost
+        assert costs["bushy"] <= costs["extended"] + 1e-9, seed
+
+
+@pytest.fixture
+def star_world():
+    """A 3-relation star where a bushy tree is natural: two dimension
+    relations each join the fact relation, and the text source touches
+    only one dimension."""
+    rng = random.Random(4)
+    catalog = Catalog()
+    fact = catalog.create_table(
+        "fact",
+        Schema.of(
+            ("d1", DataType.VARCHAR),
+            ("d2", DataType.VARCHAR),
+        ),
+    )
+    dim1 = catalog.create_table(
+        "dim1", Schema.of(("key", DataType.VARCHAR), ("who", DataType.VARCHAR))
+    )
+    dim2 = catalog.create_table(
+        "dim2", Schema.of(("key", DataType.VARCHAR), ("label", DataType.VARCHAR))
+    )
+    keys = ["a", "b", "c"]
+    people = ["ada", "bob", "cyd"]
+    for _ in range(12):
+        fact.insert([rng.choice(keys), rng.choice(keys)])
+    for key, person in zip(keys, people):
+        dim1.insert([key, person])
+        dim2.insert([key, f"label-{key}"])
+
+    store = DocumentStore(["author", "year"], short_fields=["author", "year"])
+    store.add_record("d1", author="ada", year="may 1993")
+    store.add_record("d2", author="bob", year="june 1994")
+    server = BooleanTextServer(store)
+
+    query = MultiJoinQuery(
+        relations=("fact", "dim1", "dim2"),
+        text_predicates=(TextJoinPredicate("dim1.who", "author"),),
+        join_predicates=(
+            RelationalJoinPredicate(
+                Comparison("=", ColumnRef("fact.d1"), ColumnRef("dim1.key")),
+                ("fact", "dim1"),
+            ),
+            RelationalJoinPredicate(
+                Comparison("=", ColumnRef("fact.d2"), ColumnRef("dim2.key")),
+                ("fact", "dim2"),
+            ),
+        ),
+        text_source="doc",
+    )
+    return catalog, server, query
+
+
+class TestStarQuery:
+    def test_bushy_and_extended_agree(self, star_world):
+        catalog, server, query = star_world
+        results = []
+        for space in ("extended", "bushy"):
+            context = JoinContext(catalog, TextClient(server))
+            estimator = PlanEstimator(query, context)
+            optimized = optimize_multijoin(query, estimator, space=space)
+            execution = execute_plan(
+                optimized.plan, query, JoinContext(catalog, TextClient(server))
+            )
+            results.append(execution.result_keys())
+        assert results[0] == results[1]
+
+    def test_bushy_cost_never_worse(self, star_world):
+        catalog, server, query = star_world
+        costs = {}
+        for space in ("extended", "bushy"):
+            context = JoinContext(catalog, TextClient(server))
+            estimator = PlanEstimator(query, context)
+            costs[space] = optimize_multijoin(
+                query, estimator, space=space
+            ).estimated_cost
+        assert costs["bushy"] <= costs["extended"] + 1e-9
+
+
+class TestMultiJoinLongForm:
+    def test_long_form_pairs_have_all_fields(self, star_world):
+        catalog, server, query = star_world
+        from dataclasses import replace
+
+        long_query = replace(query, long_form=True)
+        context = JoinContext(catalog, TextClient(server))
+        estimator = PlanEstimator(long_query, context)
+        optimized = optimize_multijoin(long_query, estimator)
+        run_context = JoinContext(catalog, TextClient(server))
+        execution = execute_plan(optimized.plan, long_query, run_context)
+        assert execution.rows
+        for row in execution.rows:
+            assert row["doc.year"] is not None  # full fields materialized

@@ -1,0 +1,232 @@
+"""Unit tests for the Section 4.3 cost formulas (hand-computed checks)."""
+
+import math
+
+import pytest
+
+from repro.bench.harness import make_inputs
+from repro.core.costmodel import (
+    SelectionStatistics,
+    cost_p_rtp,
+    cost_p_ts,
+    cost_probe_phase,
+    cost_probe_semijoin,
+    cost_rtp,
+    cost_sj,
+    cost_sj_rtp,
+    cost_ts,
+)
+from repro.core.query import ResultShape, TextJoinPredicate, TextJoinQuery, TextSelection
+from repro.errors import StatisticsError
+from repro.gateway.costs import CostConstants
+
+#: Clean constants for hand computation.
+CONSTANTS = CostConstants(
+    invocation=1.0,
+    per_posting=0.01,
+    short_form=0.1,
+    long_form=10.0,
+    rtp_per_document=0.001,
+)
+
+D = 1000
+
+
+def inputs(**overrides):
+    base = dict(
+        tuple_count=100,
+        stats={"r.x": (0.2, 2.0), "r.y": (0.5, 4.0)},
+        distinct={"r.x": 10, "r.y": 50},
+        document_count=D,
+        term_limit=70,
+        g=1,
+        constants=CONSTANTS,
+    )
+    base.update(overrides)
+    return make_inputs(**base)
+
+
+def query(selections=(), shape=ResultShape.PAIRS, long_form=False):
+    return TextJoinQuery(
+        relation="r",
+        join_predicates=(
+            TextJoinPredicate("r.x", "title"),
+            TextJoinPredicate("r.y", "author"),
+        ),
+        text_selections=selections,
+        shape=shape,
+        long_form=long_form,
+    )
+
+
+class TestExpressions:
+    def test_distinct_exact_and_fallback(self):
+        qi = inputs()
+        assert qi.distinct(["r.x"]) == 10
+        # fallback: min(prod N_i, N) = min(10*50, 100) = 100
+        assert qi.distinct(["r.x", "r.y"]) == 100
+
+    def test_search_fanout_one_correlated_is_min(self):
+        qi = inputs()
+        assert qi.search_fanout(["r.x", "r.y"]) == pytest.approx(2.0)
+
+    def test_postings_per_search_sums_lists(self):
+        qi = inputs()
+        assert qi.postings_per_search(["r.x", "r.y"]) == pytest.approx(6.0)
+
+    def test_total_documents_v(self):
+        qi = inputs()
+        assert qi.total_documents(10, ["r.x"]) == pytest.approx(20.0)
+
+    def test_distinct_documents_u(self):
+        qi = inputs()
+        expected = D * (1 - (1 - 2.0 / D) ** 10)
+        assert qi.distinct_documents(10, ["r.x"]) == pytest.approx(expected)
+        assert qi.distinct_documents(0, ["r.x"]) == 0.0
+
+    def test_u_bounded_by_v_and_d(self):
+        qi = inputs()
+        for n in (1, 10, 1000, 100000):
+            u = qi.distinct_documents(n, ["r.x"])
+            assert u <= qi.total_documents(n, ["r.x"]) + 1e-9
+            assert u <= D
+
+    def test_probe_success_selectivity(self):
+        qi = inputs()
+        assert qi.probe_success(["r.x"]) == pytest.approx(0.2)
+        assert qi.probe_success(["r.x", "r.y"]) == pytest.approx(0.2)  # g=1
+
+    def test_empty_selection_result_kills_probes(self):
+        qi = inputs()
+        qi.selection = SelectionStatistics(
+            result_size=0, postings=5, term_count=1, present=True
+        )
+        assert qi.probe_success(["r.x"]) == 0.0
+
+    def test_selection_caps_fanout(self):
+        qi = inputs()
+        qi.selection = SelectionStatistics(
+            result_size=1.0, postings=5, term_count=1, present=True
+        )
+        assert qi.search_fanout(["r.x", "r.y"]) == pytest.approx(1.0)
+
+    def test_missing_stats_raise(self):
+        qi = inputs()
+        with pytest.raises(StatisticsError):
+            qi.stats_for(["r.z"])
+        with pytest.raises(StatisticsError):
+            qi.distinct(["r.z"])
+
+
+class TestTs:
+    def test_formula(self):
+        qi = inputs()
+        estimate = cost_ts(qi, query())
+        n = 100  # N_K
+        assert estimate.searches == n
+        assert estimate.invocation == pytest.approx(1.0 * n)
+        assert estimate.processing == pytest.approx(0.01 * n * 6.0)
+        assert estimate.transmission_short == pytest.approx(0.1 * n * 2.0)
+        assert estimate.transmission_long == 0.0
+
+    def test_long_form_adds_cl_times_u(self):
+        qi = inputs()
+        with_long = cost_ts(qi, query(long_form=True))
+        without = cost_ts(qi, query(long_form=False))
+        u = qi.expected_join_documents()
+        assert with_long.total - without.total == pytest.approx(10.0 * u)
+
+
+class TestProbe:
+    def test_probe_phase_formula(self):
+        qi = inputs()
+        estimate = cost_probe_phase(qi, query(), ["r.x"])
+        assert estimate.invocation == pytest.approx(10.0)
+        assert estimate.processing == pytest.approx(0.01 * 10 * 2.0)
+        assert estimate.transmission_short == pytest.approx(0.1 * 10 * 2.0)
+
+    def test_p_ts_composes_probe_and_survivors(self):
+        qi = inputs()
+        estimate = cost_p_ts(qi, query(), ["r.x"])
+        probe = cost_probe_phase(qi, query(), ["r.x"])
+        survivors = 100 * 0.2
+        expected_sub = (
+            1.0 * survivors + 0.01 * survivors * 6.0 + 0.1 * survivors * 2.0
+        )
+        assert estimate.total == pytest.approx(probe.total + expected_sub)
+        assert estimate.method == "P(x)+TS"
+
+    def test_probe_semijoin_is_probe_phase(self):
+        qi = inputs()
+        a = cost_probe_semijoin(qi, query(), ["r.x"])
+        b = cost_probe_phase(qi, query(), ["r.x"])
+        assert a.total == pytest.approx(b.total)
+
+
+class TestRtp:
+    def test_requires_selections(self):
+        qi = inputs()
+        with pytest.raises(StatisticsError):
+            cost_rtp(qi, query())
+
+    def test_formula(self):
+        qi = inputs()
+        qi.selection = SelectionStatistics(
+            result_size=5.0, postings=40.0, term_count=1, present=True
+        )
+        estimate = cost_rtp(qi, query((TextSelection("w", "title"),)))
+        assert estimate.invocation == 1.0
+        assert estimate.processing == pytest.approx(0.01 * 40)
+        assert estimate.transmission_short == pytest.approx(0.1 * 5)
+        assert estimate.rtp == pytest.approx(0.001 * 5 * 100)
+
+
+class TestSj:
+    def test_batch_count(self):
+        qi = inputs()
+        estimate = cost_sj(qi, query(shape=ResultShape.DOCIDS))
+        # N_K=100 conjuncts x 2 terms over capacity 70 -> 3 batches.
+        assert estimate.searches == 3
+        assert estimate.invocation == pytest.approx(3.0)
+
+    def test_sj_rtp_adds_matching_cost(self):
+        qi = inputs()
+        sj = cost_sj(qi, query())
+        sj_rtp = cost_sj_rtp(qi, query())
+        u = qi.distinct_documents(100, ["r.x", "r.y"])
+        assert sj_rtp.total - sj.total == pytest.approx(0.001 * u * 100)
+
+    def test_selection_terms_shrink_capacity(self):
+        qi = inputs(term_limit=3)
+        qi.selection = SelectionStatistics(
+            result_size=5.0, postings=40.0, term_count=2, present=True
+        )
+        with pytest.raises(StatisticsError):
+            cost_sj(qi, query((TextSelection("a b", "title"),)))
+
+
+class TestPRtp:
+    def test_formula(self):
+        qi = inputs()
+        estimate = cost_p_rtp(qi, query(), ["r.x"])
+        probe = cost_probe_phase(qi, query(), ["r.x"])
+        fetched = 10 * 2.0
+        group = 100 / 10
+        assert estimate.total == pytest.approx(
+            probe.total + 0.001 * fetched * group
+        )
+
+    def test_method_label(self):
+        qi = inputs()
+        assert cost_p_rtp(qi, query(), ["r.y"]).method == "P(y)+RTP"
+
+
+class TestCostEstimateAlgebra:
+    def test_plus_sums_components(self):
+        qi = inputs()
+        a = cost_probe_phase(qi, query(), ["r.x"])
+        b = cost_probe_phase(qi, query(), ["r.y"])
+        combined = a.plus(b, method="both")
+        assert combined.total == pytest.approx(a.total + b.total)
+        assert combined.searches == a.searches + b.searches
+        assert combined.method == "both"

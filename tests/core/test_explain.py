@@ -1,0 +1,53 @@
+"""Tests for the EXPLAIN facility."""
+
+import pytest
+
+from repro.core.explain import explain_query
+from repro.core.inputs import build_cost_inputs
+from repro.core.query import TextJoinPredicate, TextJoinQuery, TextSelection
+
+
+@pytest.fixture
+def report(tiny_context):
+    query = TextJoinQuery(
+        relation="student",
+        join_predicates=(
+            TextJoinPredicate("student.advisor", "author"),
+            TextJoinPredicate("student.name", "author"),
+        ),
+        text_selections=(TextSelection("belief update", "title"),),
+    )
+    inputs = build_cost_inputs(query, tiny_context)
+    return explain_query(query, inputs)
+
+
+def test_reports_environment(report):
+    assert "D=4 documents" in report
+    assert "M=70 terms/search" in report
+    assert "N=5 tuples" in report
+
+
+def test_reports_predicate_statistics(report):
+    assert "student.advisor" in report
+    assert "student.name" in report
+    assert "s_i" in report and "f_i" in report and "N_i" in report
+
+
+def test_reports_selection_statistics(report):
+    assert "E_sel=2 documents" in report
+
+
+def test_ranks_every_applicable_method(report):
+    for method in ("TS", "RTP", "SJ+RTP"):
+        assert method in report
+
+
+def test_names_the_winner(report):
+    assert "Chosen: " in report
+    winner_line = [line for line in report.splitlines() if line.startswith("Chosen")]
+    assert len(winner_line) == 1
+
+
+def test_cost_components_present(report):
+    for component in ("invoke", "process", "short", "long", "rtp"):
+        assert component in report

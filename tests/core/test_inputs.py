@@ -1,0 +1,112 @@
+"""Unit tests for build_cost_inputs (statistics gathering)."""
+
+import pytest
+
+from repro.core.inputs import build_cost_inputs, distinct_counts_for
+from repro.core.query import TextJoinPredicate, TextJoinQuery, TextSelection
+from repro.gateway.statistics import TextStatisticsRegistry
+from repro.relational.expressions import ColumnRef, Comparison, Literal
+from repro.relational.row import Row
+from repro.relational.schema import Schema
+from repro.relational.types import DataType
+
+
+def q4_query():
+    return TextJoinQuery(
+        relation="student",
+        join_predicates=(
+            TextJoinPredicate("student.advisor", "author"),
+            TextJoinPredicate("student.name", "author"),
+        ),
+    )
+
+
+class TestDistinctCounts:
+    def test_all_subsets(self):
+        schema = Schema.of(("a", DataType.VARCHAR), ("b", DataType.VARCHAR))
+        rows = [
+            Row(schema, ["x", "1"]),
+            Row(schema, ["x", "2"]),
+            Row(schema, ["y", "1"]),
+            Row(schema, ["y", None]),
+        ]
+        counts = distinct_counts_for(rows, ["a", "b"])
+        assert counts[frozenset(["a"])] == 2
+        assert counts[frozenset(["b"])] == 2
+        # NULL-containing pair excluded.
+        assert counts[frozenset(["a", "b"])] == 3
+
+    def test_empty_rows(self):
+        counts = distinct_counts_for([], ["a"])
+        assert counts[frozenset(["a"])] == 0
+
+
+class TestBuildCostInputs:
+    def test_relational_side_exact(self, tiny_context):
+        inputs = build_cost_inputs(q4_query(), tiny_context)
+        assert inputs.tuple_count == 5
+        assert inputs.distinct(["student.advisor"]) == 2
+        assert inputs.distinct(["student.name"]) == 5
+
+    def test_respects_relation_predicate(self, tiny_context):
+        query = TextJoinQuery(
+            relation="student",
+            join_predicates=(TextJoinPredicate("student.name", "author"),),
+            relation_predicate=Comparison(
+                "=", ColumnRef("student.area"), Literal("AI")
+            ),
+        )
+        inputs = build_cost_inputs(query, tiny_context)
+        assert inputs.tuple_count == 3
+
+    def test_predicate_statistics_exact(self, tiny_context):
+        inputs = build_cost_inputs(q4_query(), tiny_context)
+        # advisors: garcia (1 doc), ullman (0 docs) -> s=0.5, f=0.5
+        advisor = inputs.predicate_stats["student.advisor"]
+        assert advisor.selectivity == pytest.approx(0.5)
+        assert advisor.fanout == pytest.approx(0.5)
+
+    def test_selection_statistics_measured(self, tiny_context):
+        query = TextJoinQuery(
+            relation="student",
+            join_predicates=(TextJoinPredicate("student.name", "author"),),
+            text_selections=(TextSelection("belief update", "title"),),
+        )
+        inputs = build_cost_inputs(query, tiny_context)
+        assert inputs.selection.present
+        assert inputs.selection.result_size == 2.0
+        assert inputs.selection.term_count == 1
+
+    def test_no_selection_absent(self, tiny_context):
+        inputs = build_cost_inputs(q4_query(), tiny_context)
+        assert not inputs.selection.present
+
+    def test_registry_caching(self, tiny_context):
+        registry = TextStatisticsRegistry()
+        build_cost_inputs(q4_query(), tiny_context, registry=registry)
+        assert registry.has("student.advisor", "author")
+        assert registry.has("student.name", "author")
+        # Second build reuses the registry (same objects).
+        inputs = build_cost_inputs(q4_query(), tiny_context, registry=registry)
+        assert inputs.predicate_stats["student.name"] is registry.get(
+            "student.name", "author"
+        )
+
+    def test_sampled_mode_charges_client(self, tiny_context):
+        import random
+
+        build_cost_inputs(
+            q4_query(),
+            tiny_context,
+            exact=False,
+            sample_size=2,
+            rng=random.Random(0),
+        )
+        # 2 samples per predicate x 2 predicates.
+        assert tiny_context.client.ledger.searches == 4
+
+    def test_environment_parameters(self, tiny_context):
+        inputs = build_cost_inputs(q4_query(), tiny_context)
+        assert inputs.document_count == 4
+        assert inputs.term_limit == 70
+        assert inputs.g == 1

@@ -1,0 +1,226 @@
+"""Tests for the multi-join estimator, enumerator and executor
+(DESIGN.md invariants 8 and 9)."""
+
+import pytest
+
+from repro.core.executor import execute_plan
+from repro.core.joinmethods.base import JoinContext
+from repro.core.optimizer.enumerate import optimize_multijoin
+from repro.core.optimizer.estimator import PlanEstimator
+from repro.core.optimizer.multiquery import (
+    MultiJoinQuery,
+    RelationalJoinPredicate,
+)
+from repro.core.optimizer.plan import (
+    JoinNode,
+    ProbeNode,
+    ScanNode,
+    TextJoinNode,
+    TextScanNode,
+)
+from repro.core.query import TextJoinPredicate, TextSelection
+from repro.errors import OptimizationError
+from repro.gateway.client import TextClient
+from repro.relational.catalog import Catalog
+from repro.relational.expressions import ColumnRef, Comparison
+from repro.relational.schema import Schema
+from repro.relational.types import DataType
+from repro.textsys.documents import DocumentStore
+from repro.textsys.server import BooleanTextServer
+
+
+@pytest.fixture
+def world():
+    """Two relations + a small corpus with known coauthorships."""
+    catalog = Catalog()
+    student = catalog.create_table(
+        "student",
+        Schema.of(("name", DataType.VARCHAR), ("dept", DataType.VARCHAR)),
+    )
+    student.insert_many(
+        [["radhika", "cs"], ["gravano", "cs"], ["kao", "ee"], ["smith", "cs"]]
+    )
+    faculty = catalog.create_table(
+        "faculty",
+        Schema.of(("name", DataType.VARCHAR), ("dept", DataType.VARCHAR)),
+    )
+    faculty.insert_many([["garcia", "ee"], ["ullman", "cs"], ["jones", "me"]])
+
+    store = DocumentStore(
+        ["title", "author", "year"], short_fields=["title", "author", "year"]
+    )
+    store.add_record("d1", title="Joint", author="radhika garcia", year="may 1993")
+    store.add_record("d2", title="Solo", author="gravano", year="may 1993")
+    store.add_record("d3", title="Pair", author="smith jones", year="may 1993")
+    store.add_record("d4", title="Old", author="kao garcia", year="june 1991")
+    server = BooleanTextServer(store)
+    return catalog, server
+
+
+@pytest.fixture
+def q5():
+    return MultiJoinQuery(
+        relations=("student", "faculty"),
+        text_predicates=(
+            TextJoinPredicate("student.name", "author"),
+            TextJoinPredicate("faculty.name", "author"),
+        ),
+        text_selections=(TextSelection("may 1993", "year"),),
+        join_predicates=(
+            RelationalJoinPredicate(
+                Comparison("!=", ColumnRef("faculty.dept"), ColumnRef("student.dept")),
+                ("faculty", "student"),
+            ),
+        ),
+        text_source="mercury",
+    )
+
+
+def fresh_context(world):
+    catalog, server = world
+    return JoinContext(catalog, TextClient(server))
+
+
+#: Q5's true answer on the fixture: radhika(cs)+garcia(ee) via d1,
+#: smith(cs)+jones(me) via d3.
+EXPECTED_NAMES = {("radhika", "garcia"), ("smith", "jones")}
+
+
+def result_names(execution):
+    return {
+        (row["student.name"], row["faculty.name"]) for row in execution.rows
+    }
+
+
+class TestEstimator:
+    def test_scan_cardinalities_exact(self, world, q5):
+        estimator = PlanEstimator(q5, fresh_context(world))
+        scan = ScanNode(relation="student")
+        estimator.annotate(scan)
+        assert scan.estimated_rows == 4
+
+    def test_probe_reduces_rows(self, world, q5):
+        estimator = PlanEstimator(q5, fresh_context(world))
+        scan = ScanNode(relation="student")
+        probe = ProbeNode(
+            child=scan,
+            probe_columns=("student.name",),
+            probe_predicates=q5.text_predicates_of("student"),
+            selections=q5.text_selections,
+        )
+        estimator.annotate(probe)
+        # All 4 students author something: s = 1 -> no reduction.
+        assert probe.estimated_rows == pytest.approx(scan.estimated_rows)
+        assert probe.estimated_cost > 0
+
+    def test_join_cardinality_uses_selectivity(self, world, q5):
+        estimator = PlanEstimator(q5, fresh_context(world))
+        join = JoinNode(
+            left=ScanNode(relation="student"),
+            right=ScanNode(relation="faculty"),
+            relational_predicates=q5.join_predicates,
+        )
+        estimator.annotate(join)
+        assert 0 < join.estimated_rows < 12
+
+    def test_text_scan_priced_by_selection(self, world, q5):
+        estimator = PlanEstimator(q5, fresh_context(world))
+        node = TextScanNode(selections=q5.text_selections)
+        estimator.annotate(node)
+        assert node.estimated_rows == 3  # may-1993 documents
+        assert node.estimated_cost > 3.0  # at least one invocation
+
+
+class TestEnumerator:
+    def test_spaces_nest_by_cost(self, world, q5):
+        costs = {}
+        for space in ("traditional", "prl", "extended"):
+            estimator = PlanEstimator(q5, fresh_context(world))
+            costs[space] = optimize_multijoin(
+                q5, estimator, space=space
+            ).estimated_cost
+        assert costs["prl"] <= costs["traditional"] + 1e-9
+        assert costs["extended"] <= costs["prl"] + 1e-9
+
+    def test_traditional_has_no_probes_or_text_scans(self, world, q5):
+        estimator = PlanEstimator(q5, fresh_context(world))
+        plan = optimize_multijoin(q5, estimator, space="traditional").plan
+        text = plan.describe()
+        assert "Probe(" not in text
+        assert "TextScan(" not in text
+
+    def test_unknown_space_rejected(self, world, q5):
+        estimator = PlanEstimator(q5, fresh_context(world))
+        with pytest.raises(OptimizationError):
+            optimize_multijoin(q5, estimator, space="bogus")
+
+    def test_counters_populated(self, world, q5):
+        estimator = PlanEstimator(q5, fresh_context(world))
+        optimized = optimize_multijoin(q5, estimator)
+        assert optimized.join_tasks > 0
+        assert optimized.plans_considered > 0
+        # size>=2 subsets of {student, faculty, TEXT}: 3 pairs + 1 triple.
+        assert optimized.subsets_enumerated == 4
+
+    def test_single_relation_query(self, world):
+        query = MultiJoinQuery(
+            relations=("student",),
+            text_predicates=(TextJoinPredicate("student.name", "author"),),
+            text_source="mercury",
+        )
+        estimator = PlanEstimator(query, fresh_context(world))
+        optimized = optimize_multijoin(query, estimator)
+        execution = execute_plan(optimized.plan, query, fresh_context(world))
+        assert len(execution.rows) == 4  # every student authored something
+
+
+class TestExecutor:
+    @pytest.mark.parametrize("space", ["traditional", "prl", "extended"])
+    def test_all_spaces_compute_q5(self, world, q5, space):
+        estimator = PlanEstimator(q5, fresh_context(world))
+        optimized = optimize_multijoin(q5, estimator, space=space)
+        execution = execute_plan(optimized.plan, q5, fresh_context(world))
+        assert result_names(execution) == EXPECTED_NAMES
+
+    def test_matches_reference_nested_loop(self, world, q5):
+        """Invariant 9: plan execution equals brute-force evaluation."""
+        catalog, server = world
+        expected = set()
+        for srow in catalog.table("student").scan():
+            for frow in catalog.table("faculty").scan():
+                if frow["faculty.dept"] == srow["student.dept"]:
+                    continue
+                for document in server.store:
+                    from repro.core.textmatch import value_matches_field
+
+                    if (
+                        value_matches_field("may 1993", document.field("year"))
+                        and value_matches_field(
+                            srow["student.name"], document.field("author")
+                        )
+                        and value_matches_field(
+                            frow["faculty.name"], document.field("author")
+                        )
+                    ):
+                        expected.add(
+                            (srow["student.name"], frow["faculty.name"])
+                        )
+        estimator = PlanEstimator(q5, fresh_context(world))
+        optimized = optimize_multijoin(q5, estimator)
+        execution = execute_plan(optimized.plan, q5, fresh_context(world))
+        assert result_names(execution) == expected
+
+    def test_document_columns_in_output(self, world, q5):
+        estimator = PlanEstimator(q5, fresh_context(world))
+        optimized = optimize_multijoin(q5, estimator)
+        execution = execute_plan(optimized.plan, q5, fresh_context(world))
+        names = execution.schema.names()
+        assert "mercury.docid" in names
+        assert "mercury.author" in names
+
+    def test_cost_metered(self, world, q5):
+        estimator = PlanEstimator(q5, fresh_context(world))
+        optimized = optimize_multijoin(q5, estimator)
+        execution = execute_plan(optimized.plan, q5, fresh_context(world))
+        assert execution.cost.total > 0
+        assert execution.total_cost() >= execution.cost.total

@@ -1,0 +1,125 @@
+"""Unit tests for plan nodes (PrL tree structure rules)."""
+
+import pytest
+
+from repro.core.joinmethods import TupleSubstitution
+from repro.core.optimizer.multiquery import TEXT_SOURCE
+from repro.core.optimizer.plan import (
+    JoinNode,
+    ProbeNode,
+    ScanNode,
+    TextJoinNode,
+    TextScanNode,
+    plan_signature,
+)
+from repro.core.query import TextJoinPredicate, TextSelection
+from repro.errors import PlanError
+
+PRED_S = TextJoinPredicate("student.name", "author")
+PRED_F = TextJoinPredicate("faculty.name", "author")
+SEL = TextSelection("may 1993", "year")
+
+
+def scan(relation="student"):
+    return ScanNode(relation=relation)
+
+
+def probe(child, columns=("student.name",), predicates=(PRED_S,)):
+    return ProbeNode(
+        child=child, probe_columns=columns, probe_predicates=predicates
+    )
+
+
+def text_join(child, predicates=(PRED_S,)):
+    return TextJoinNode(
+        child=child,
+        method=TupleSubstitution(),
+        available_predicates=predicates,
+    )
+
+
+class TestStructureRules:
+    def test_scan_relations(self):
+        assert scan().relations() == {"student"}
+        assert not scan().includes_text
+
+    def test_text_scan_needs_selections(self):
+        with pytest.raises(PlanError):
+            TextScanNode(selections=())
+        node = TextScanNode(selections=(SEL,))
+        assert node.relations() == {TEXT_SOURCE}
+        assert node.includes_text
+
+    def test_probe_must_precede_text_join(self):
+        joined = text_join(scan())
+        with pytest.raises(PlanError):
+            probe(joined)
+
+    def test_probe_needs_columns(self):
+        with pytest.raises(PlanError):
+            ProbeNode(child=scan(), probe_columns=(), probe_predicates=())
+
+    def test_probed_columns_accumulate(self):
+        inner = probe(scan())
+        outer = ProbeNode(
+            child=inner,
+            probe_columns=("student.advisor",),
+            probe_predicates=(TextJoinPredicate("student.advisor", "author"),),
+        )
+        assert outer.probed_columns() == {"student.name", "student.advisor"}
+
+    def test_join_inputs_must_not_overlap(self):
+        with pytest.raises(PlanError):
+            JoinNode(left=scan(), right=scan())
+
+    def test_text_match_predicates_need_documents(self):
+        with pytest.raises(PlanError):
+            JoinNode(
+                left=scan("student"),
+                right=scan("faculty"),
+                text_match_predicates=(PRED_F,),
+            )
+        # Legal once one side carries the text source.
+        JoinNode(
+            left=text_join(scan("student")),
+            right=scan("faculty"),
+            text_match_predicates=(PRED_F,),
+        )
+
+    def test_only_one_text_join(self):
+        joined = text_join(scan())
+        with pytest.raises(PlanError):
+            TextJoinNode(
+                child=joined,
+                method=TupleSubstitution(),
+                available_predicates=(PRED_S,),
+            )
+
+    def test_text_join_needs_predicates(self):
+        with pytest.raises(PlanError):
+            TextJoinNode(
+                child=scan(),
+                method=TupleSubstitution(),
+                available_predicates=(),
+            )
+
+
+class TestSignaturesAndDescribe:
+    def test_signature_shapes(self):
+        plan = JoinNode(
+            left=probe(scan("student")),
+            right=scan("faculty"),
+        )
+        assert plan_signature(plan) == "join(probe[student.name](student),faculty)"
+
+    def test_text_join_signature(self):
+        plan = text_join(scan())
+        assert plan_signature(plan) == "textjoin[TS](student)"
+
+    def test_describe_is_indented_tree(self):
+        plan = text_join(probe(scan()))
+        text = plan.describe()
+        lines = text.splitlines()
+        assert lines[0].startswith("TextJoin[TS]")
+        assert lines[1].startswith("  Probe(")
+        assert lines[2].startswith("    Scan(student")

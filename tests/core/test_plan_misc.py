@@ -1,0 +1,64 @@
+"""Small branch-coverage tests for plan utilities and method labels."""
+
+import pytest
+
+from repro.core.joinmethods import (
+    ProbeRtp,
+    ProbeSemiJoin,
+    ProbeTupleSubstitution,
+    TupleSubstitution,
+)
+from repro.core.optimizer.plan import PlanNode, plan_signature
+from repro.core.query import ResultShape, TextJoinPredicate, TextJoinQuery
+from repro.errors import PlanError
+
+
+class TestPlanSignature:
+    def test_unknown_node_rejected(self):
+        class Strange(PlanNode):
+            def relations(self):
+                return frozenset()
+
+            def probed_columns(self):
+                return frozenset()
+
+        with pytest.raises(PlanError):
+            plan_signature(Strange())
+
+
+class TestMethodLabels:
+    def test_probe_labels_use_bare_column_names(self):
+        assert ProbeTupleSubstitution(("student.advisor",)).name == "P(advisor)+TS"
+        assert ProbeRtp(("student.name", "student.advisor")).name == (
+            "P(name,advisor)+RTP"
+        )
+        assert ProbeSemiJoin(("student.name",)).name == "P(name)"
+        assert ProbeSemiJoin().name == "P(all)"
+
+    def test_ts_variant_labels(self):
+        assert TupleSubstitution().name == "TS"
+        assert TupleSubstitution(distinct_only=False).name == "TS(naive)"
+
+
+class TestMethodExecutionRepr:
+    def test_repr_mentions_shape_and_cost(self, tiny_context):
+        query = TextJoinQuery(
+            relation="student",
+            join_predicates=(TextJoinPredicate("student.name", "author"),),
+            shape=ResultShape.TUPLES,
+        )
+        execution = TupleSubstitution().execute(query, tiny_context)
+        text = repr(execution)
+        assert "tuples" in text
+        assert "TS" in text
+
+
+class TestQueryRepr:
+    def test_repr_lists_predicates(self):
+        query = TextJoinQuery(
+            relation="student",
+            join_predicates=(TextJoinPredicate("student.name", "author"),),
+        )
+        text = repr(query)
+        assert "student.name in author" in text
+        assert "shape=pairs" in text

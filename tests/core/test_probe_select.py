@@ -1,0 +1,115 @@
+"""Unit + property tests for probe-column selection (Section 5)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.harness import make_inputs
+from repro.core.costmodel import cost_p_rtp, cost_p_ts
+from repro.core.probe_select import candidate_probe_sets, optimal_probe_columns
+from repro.core.query import TextJoinPredicate, TextJoinQuery
+from repro.errors import OptimizationError
+
+
+def query_over(columns):
+    return TextJoinQuery(
+        relation="r",
+        join_predicates=tuple(
+            TextJoinPredicate(column, "field") for column in columns
+        ),
+    )
+
+
+def three_column_inputs(g=1):
+    return make_inputs(
+        tuple_count=1000,
+        stats={
+            "r.a": (0.1, 1.0),
+            "r.b": (0.5, 3.0),
+            "r.c": (0.9, 8.0),
+        },
+        distinct={"r.a": 20, "r.b": 100, "r.c": 5},
+        g=g,
+    )
+
+
+class TestCandidates:
+    def test_bounded_by_theorem(self):
+        query = query_over(["r.a", "r.b", "r.c"])
+        candidates = candidate_probe_sets(query, g=1)
+        assert all(len(c) <= 2 for c in candidates)
+        # singles + pairs of 3 columns = 3 + 3
+        assert len(candidates) == 6
+
+    def test_exhaustive_excludes_full_set_by_default(self):
+        query = query_over(["r.a", "r.b", "r.c"])
+        candidates = candidate_probe_sets(query, g=1, exhaustive=True)
+        assert len(candidates) == 6  # 2^3 - 1 - full set
+
+    def test_allow_full(self):
+        query = query_over(["r.a", "r.b"])
+        candidates = candidate_probe_sets(query, g=1, allow_full=True)
+        assert ("r.a", "r.b") in candidates
+
+    def test_single_predicate_has_no_proper_subsets(self):
+        query = query_over(["r.a"])
+        assert candidate_probe_sets(query, g=1) == []
+
+
+class TestOptimal:
+    def test_returns_cheapest(self):
+        inputs = three_column_inputs()
+        query = query_over(["r.a", "r.b", "r.c"])
+        choice = optimal_probe_columns(inputs, query, "P+TS")
+        assert choice is not None
+        for columns in candidate_probe_sets(query, g=1):
+            assert choice.estimate.total <= cost_p_ts(inputs, query, columns).total + 1e-9
+
+    def test_variants(self):
+        inputs = three_column_inputs()
+        query = query_over(["r.a", "r.b", "r.c"])
+        for variant in ("P+TS", "P+RTP", "P"):
+            assert optimal_probe_columns(inputs, query, variant) is not None
+
+    def test_unknown_variant_rejected(self):
+        inputs = three_column_inputs()
+        query = query_over(["r.a", "r.b", "r.c"])
+        with pytest.raises(OptimizationError):
+            optimal_probe_columns(inputs, query, "NOPE")
+
+    def test_single_predicate_returns_none(self):
+        inputs = make_inputs(
+            tuple_count=10, stats={"r.a": (0.5, 1.0)}, distinct={"r.a": 5}
+        )
+        assert optimal_probe_columns(inputs, query_over(["r.a"]), "P+TS") is None
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    k=st.integers(2, 5),
+)
+def test_theorem_53_bound_is_lossless_for_one_correlated(seed, k):
+    """Invariant 7: bounded (<= 2-column) search matches exhaustive search
+    under the 1-correlated model."""
+    import random
+
+    rng = random.Random(seed)
+    columns = [f"r.c{i}" for i in range(k)]
+    inputs = make_inputs(
+        tuple_count=rng.randint(10, 5000),
+        stats={
+            column: (rng.uniform(0.0, 1.0), rng.uniform(0.0, 50.0))
+            for column in columns
+        },
+        distinct={column: rng.randint(1, 3000) for column in columns},
+        g=1,
+    )
+    query = query_over(columns)
+    for variant in ("P+TS", "P+RTP"):
+        bounded = optimal_probe_columns(inputs, query, variant, exhaustive=False)
+        exhaustive = optimal_probe_columns(inputs, query, variant, exhaustive=True)
+        assert bounded.estimate.total == pytest.approx(
+            exhaustive.estimate.total, rel=1e-9, abs=1e-9
+        ), (variant, seed)

@@ -1,0 +1,85 @@
+"""Tests for SJ1+RTP (the classic one-attribute distributed semi-join)."""
+
+import pytest
+
+from repro.core.joinmethods import (
+    SemiJoinRtp,
+    SingleColumnSemiJoinRtp,
+    TupleSubstitution,
+)
+from repro.core.query import TextJoinPredicate, TextJoinQuery, TextSelection
+from repro.errors import JoinMethodError
+
+
+def q4_query():
+    return TextJoinQuery(
+        relation="student",
+        join_predicates=(
+            TextJoinPredicate("student.advisor", "author"),
+            TextJoinPredicate("student.name", "author"),
+        ),
+    )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "column", ["student.advisor", "student.name", None]
+    )
+    def test_results_match_ts(self, tiny_context, column):
+        method = SingleColumnSemiJoinRtp(column)
+        sj1 = method.execute(q4_query(), tiny_context)
+        ts = TupleSubstitution().execute(q4_query(), tiny_context)
+        assert sj1.result_keys() == ts.result_keys()
+
+    def test_unknown_column_not_applicable(self, tiny_context):
+        method = SingleColumnSemiJoinRtp("student.area")
+        assert not method.applicable(q4_query(), tiny_context)
+        with pytest.raises(JoinMethodError):
+            method.execute(q4_query(), tiny_context)
+
+    def test_name_rendering(self):
+        assert SingleColumnSemiJoinRtp().name == "SJ1+RTP"
+        assert (
+            SingleColumnSemiJoinRtp("student.advisor").name
+            == "SJ1(advisor)+RTP"
+        )
+
+
+class TestTradeoff:
+    def test_fetches_at_least_full_conjunct_variant(self, tiny_context):
+        """SJ1 fetches documents matching ONE predicate — a superset of the
+        full-conjunct fetch, hence >= short-form transmission."""
+        query = q4_query()
+        sj1 = SingleColumnSemiJoinRtp("student.advisor").execute(
+            query, tiny_context
+        )
+        full = SemiJoinRtp().execute(query, tiny_context)
+        assert sj1.cost.short_documents >= full.cost.short_documents
+        assert sj1.result_keys() == full.result_keys()
+
+    def test_fewer_terms_per_batch(self, tiny_context):
+        """With k=2 predicates and a tight term limit, SJ1 needs fewer
+        invocations than the full-conjunct variant."""
+        from repro.core.joinmethods.base import JoinContext
+        from repro.gateway.client import TextClient
+        from repro.textsys.server import BooleanTextServer
+
+        server = BooleanTextServer(
+            tiny_context.client.server.store, term_limit=2
+        )
+        context = JoinContext(tiny_context.catalog, TextClient(server))
+        query = q4_query()
+        sj1 = SingleColumnSemiJoinRtp("student.advisor").execute(query, context)
+        full = SemiJoinRtp().execute(query, context)
+        assert sj1.cost.searches < full.cost.searches
+        assert sj1.result_keys() == full.result_keys()
+
+    def test_selection_included_in_fetch(self, tiny_context):
+        query = TextJoinQuery(
+            relation="student",
+            join_predicates=(TextJoinPredicate("student.name", "author"),),
+            text_selections=(TextSelection("belief update", "title"),),
+        )
+        sj1 = SingleColumnSemiJoinRtp().execute(query, tiny_context)
+        ts = TupleSubstitution().execute(query, tiny_context)
+        assert sj1.result_keys() == ts.result_keys()

@@ -1,0 +1,138 @@
+"""Unit tests for the single-join optimizer (Section 5 method choice)."""
+
+import pytest
+
+from repro.bench.harness import make_inputs
+from repro.core.costmodel import SelectionStatistics
+from repro.core.inputs import build_cost_inputs
+from repro.core.joinmethods import (
+    ProbeRtp,
+    ProbeSemiJoin,
+    ProbeTupleSubstitution,
+    RelationalTextProcessing,
+    SemiJoin,
+    SemiJoinRtp,
+    TupleSubstitution,
+)
+from repro.core.optimizer.single_join import (
+    choose_join_method,
+    enumerate_method_choices,
+)
+from repro.core.query import (
+    ResultShape,
+    TextJoinPredicate,
+    TextJoinQuery,
+    TextSelection,
+)
+
+
+def two_pred_query(shape=ResultShape.PAIRS, selections=()):
+    return TextJoinQuery(
+        relation="r",
+        join_predicates=(
+            TextJoinPredicate("r.x", "title"),
+            TextJoinPredicate("r.y", "author"),
+        ),
+        text_selections=selections,
+        shape=shape,
+    )
+
+
+def one_pred_query(shape=ResultShape.PAIRS, selections=()):
+    return TextJoinQuery(
+        relation="r",
+        join_predicates=(TextJoinPredicate("r.x", "title"),),
+        text_selections=selections,
+        shape=shape,
+    )
+
+
+def default_inputs(with_selection=False):
+    inputs = make_inputs(
+        tuple_count=100,
+        stats={"r.x": (0.2, 2.0), "r.y": (0.5, 4.0)},
+        distinct={"r.x": 10, "r.y": 50},
+    )
+    if with_selection:
+        inputs.selection = SelectionStatistics(
+            result_size=5.0, postings=30.0, term_count=1, present=True
+        )
+    return inputs
+
+
+def method_types(choices):
+    return {type(choice.method) for choice in choices}
+
+
+class TestApplicability:
+    def test_pairs_without_selections(self):
+        choices = enumerate_method_choices(two_pred_query(), default_inputs())
+        types = method_types(choices)
+        assert TupleSubstitution in types
+        assert SemiJoinRtp in types
+        assert ProbeTupleSubstitution in types
+        assert ProbeRtp in types
+        assert RelationalTextProcessing not in types
+        assert SemiJoin not in types
+
+    def test_rtp_needs_selections(self):
+        query = two_pred_query(selections=(TextSelection("w", "title"),))
+        choices = enumerate_method_choices(query, default_inputs(True))
+        assert RelationalTextProcessing in method_types(choices)
+
+    def test_sj_only_for_docids(self):
+        query = two_pred_query(shape=ResultShape.DOCIDS)
+        choices = enumerate_method_choices(query, default_inputs())
+        assert SemiJoin in method_types(choices)
+
+    def test_probe_semijoin_for_tuples(self):
+        query = two_pred_query(shape=ResultShape.TUPLES)
+        choices = enumerate_method_choices(query, default_inputs())
+        assert ProbeSemiJoin in method_types(choices)
+
+    def test_no_probing_with_single_predicate(self):
+        choices = enumerate_method_choices(one_pred_query(), default_inputs())
+        types = method_types(choices)
+        assert ProbeTupleSubstitution not in types
+        assert ProbeRtp not in types
+
+
+class TestRanking:
+    def test_sorted_by_cost(self):
+        choices = enumerate_method_choices(two_pred_query(), default_inputs())
+        costs = [choice.estimate.total for choice in choices]
+        assert costs == sorted(costs)
+
+    def test_choose_returns_cheapest(self):
+        inputs = default_inputs()
+        query = two_pred_query()
+        winner = choose_join_method(query, inputs)
+        all_choices = enumerate_method_choices(query, inputs)
+        assert winner.estimate.total == all_choices[0].estimate.total
+
+    def test_probe_methods_carry_optimal_columns(self):
+        choices = enumerate_method_choices(two_pred_query(), default_inputs())
+        for choice in choices:
+            if isinstance(choice.method, (ProbeTupleSubstitution, ProbeRtp)):
+                assert set(choice.method.probe_columns) <= {"r.x", "r.y"}
+                assert len(choice.method.probe_columns) >= 1
+
+
+class TestScenarioWinners:
+    """End-to-end: the optimizer's winner on the canonical queries matches
+    the paper's Table 2 winners."""
+
+    @pytest.mark.parametrize(
+        "query_id, expected",
+        [
+            ("q1", "RTP"),
+            ("q2", "SJ"),
+            ("q3", "P(name)+TS"),
+            ("q4", "P(advisor)+RTP"),
+        ],
+    )
+    def test_winner(self, scenario, query_id, expected):
+        query = scenario.query(query_id)
+        inputs = build_cost_inputs(query, scenario.context())
+        winner = choose_join_method(query, inputs)
+        assert winner.name == expected

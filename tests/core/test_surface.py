@@ -1,0 +1,169 @@
+"""Tests for the SQL-like surface syntax (the paper's queries verbatim)."""
+
+import pytest
+
+from repro.core.optimizer.multiquery import MultiJoinQuery
+from repro.core.query import ResultShape, TextJoinQuery
+from repro.core.surface import parse_query
+from repro.errors import PlanError
+from repro.relational.expressions import And, Comparison
+
+Q1 = """
+select * from student, mercury
+where student.area = 'AI' and student.year > 3
+and 'belief update' in mercury.title
+and student.name in mercury.author
+"""
+
+Q2 = """
+select docid from student, mercury
+where student.advisor = 'Garcia'
+and 'text' in mercury.title
+and student.name in mercury.author
+"""
+
+Q3 = """
+select project.member, project.name, mercury.docid
+from project, mercury
+where project.sponsor = 'NSF'
+and project.name in mercury.title
+and project.member in mercury.author
+"""
+
+Q4 = """
+select * from student, mercury
+where student.area = 'distributed systems'
+and student.advisor in mercury.author
+and student.name in mercury.author
+"""
+
+Q5 = """
+select student.name, mercury.docid
+from student, faculty, mercury
+where student.name in mercury.author
+and faculty.name in mercury.author
+and faculty.dept != student.dept
+and 'may 1993' in mercury.year
+"""
+
+
+class TestPaperQueries:
+    def test_q1(self):
+        query = parse_query(Q1)
+        assert isinstance(query, TextJoinQuery)
+        assert query.relation == "student"
+        assert query.shape is ResultShape.PAIRS
+        assert query.long_form is True
+        assert [p.field for p in query.join_predicates] == ["author"]
+        assert query.text_selections[0].term == "belief update"
+        assert isinstance(query.relation_predicate, And)
+
+    def test_q2_docids_shape(self):
+        query = parse_query(Q2)
+        assert query.shape is ResultShape.DOCIDS
+        assert query.long_form is False
+        assert isinstance(query.relation_predicate, Comparison)
+
+    def test_q3_two_predicates(self):
+        query = parse_query(Q3)
+        assert isinstance(query, TextJoinQuery)
+        assert query.join_columns == ("project.name", "project.member")
+        assert query.text_selections == ()
+        assert query.shape is ResultShape.PAIRS
+        assert query.long_form is False
+
+    def test_q4(self):
+        query = parse_query(Q4)
+        assert query.join_columns == ("student.advisor", "student.name")
+
+    def test_q5_multijoin(self):
+        query = parse_query(Q5)
+        assert isinstance(query, MultiJoinQuery)
+        assert query.relations == ("student", "faculty")
+        assert len(query.text_predicates) == 2
+        assert len(query.join_predicates) == 1
+        assert query.text_selections[0].field == "year"
+        assert query.long_form is False
+
+
+class TestShapes:
+    def test_relation_columns_only_is_tuples(self):
+        query = parse_query(
+            "select student.name from student, mercury "
+            "where student.name in mercury.author"
+        )
+        assert query.shape is ResultShape.TUPLES
+
+    def test_mixed_columns_is_pairs_short(self):
+        query = parse_query(
+            "select student.name, mercury.title from student, mercury "
+            "where student.name in mercury.author"
+        )
+        assert query.shape is ResultShape.PAIRS
+        assert query.long_form is False
+
+    def test_same_relation_comparison_is_local(self):
+        query = parse_query(
+            "select * from student, mercury "
+            "where student.year > student.entry "
+            "and student.name in mercury.author"
+        )
+        assert isinstance(query, TextJoinQuery)
+        assert query.relation_predicate is not None
+
+
+class TestErrors:
+    def test_text_source_must_be_in_from(self):
+        with pytest.raises(PlanError, match="mercury"):
+            parse_query("select * from student where student.a = 1")
+
+    def test_needs_stored_relation(self):
+        with pytest.raises(PlanError):
+            parse_query("select * from mercury where 'x' in mercury.title")
+
+    def test_needs_join_predicate_single_relation(self):
+        with pytest.raises(PlanError):
+            parse_query(
+                "select * from student, mercury where 'x' in mercury.title"
+            )
+
+    def test_in_field_must_be_text_source(self):
+        with pytest.raises(PlanError):
+            parse_query(
+                "select * from student, mercury "
+                "where student.name in student.author"
+            )
+
+    def test_unknown_relation_in_predicate(self):
+        with pytest.raises(PlanError):
+            parse_query(
+                "select * from student, mercury "
+                "where ghost.name in mercury.author"
+            )
+
+    def test_unqualified_comparison_rejected(self):
+        with pytest.raises(PlanError):
+            parse_query(
+                "select * from student, mercury "
+                "where area = 'AI' and student.name in mercury.author"
+            )
+
+    def test_garbage_rejected(self):
+        with pytest.raises(PlanError):
+            parse_query("select ~~ from !!")
+
+
+class TestExecutionRoundTrip:
+    def test_parsed_q1_executes(self, tiny_context):
+        from repro.core.joinmethods import TupleSubstitution
+
+        sql = (
+            "select * from student, mercury "
+            "where student.area = 'AI' "
+            "and 'belief update' in mercury.title "
+            "and student.name in mercury.author"
+        )
+        query = parse_query(sql)
+        execution = TupleSubstitution().execute(query, tiny_context)
+        names = {pair.row["student.name"] for pair in execution.pairs}
+        assert names == {"radhika", "smith"}

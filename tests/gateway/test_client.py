@@ -1,0 +1,67 @@
+"""Unit tests for the metered text client."""
+
+import pytest
+
+from repro.gateway.client import TextClient
+from repro.textsys.query import TermQuery
+
+
+class TestSearchAccounting:
+    def test_search_charges_ledger(self, tiny_server):
+        client = TextClient(tiny_server)
+        result = client.search("TI='belief'")
+        assert client.ledger.searches == 1
+        assert client.ledger.postings_processed == result.postings_processed
+        assert client.ledger.short_documents == len(result)
+
+    def test_probe_is_a_charged_search(self, tiny_server):
+        client = TextClient(tiny_server)
+        assert client.probe("TI='belief'") is True
+        assert client.probe("TI='zzz'") is False
+        assert client.ledger.searches == 2
+
+    def test_retrieve_charges_long_form(self, tiny_server):
+        client = TextClient(tiny_server)
+        client.retrieve("d1")
+        assert client.ledger.long_documents == 1
+        assert client.ledger.total == pytest.approx(client.ledger.constants.long_form)
+
+    def test_retrieve_many(self, tiny_server):
+        client = TextClient(tiny_server)
+        documents = client.retrieve_many(["d1", "d3"])
+        assert len(documents) == 2
+        assert client.ledger.long_documents == 2
+
+    def test_charge_rtp(self, tiny_server):
+        client = TextClient(tiny_server)
+        cost = client.charge_rtp(10)
+        assert cost == pytest.approx(10 * client.ledger.constants.rtp_per_document)
+
+
+class TestCallLog:
+    def test_log_disabled_by_default(self, tiny_server):
+        client = TextClient(tiny_server)
+        client.search("TI='belief'")
+        assert client.call_log == []
+
+    def test_log_records_expressions(self, tiny_server):
+        client = TextClient(tiny_server, log_calls=True)
+        client.search(TermQuery("title", "belief"))
+        client.search("TI='zzz'")
+        assert len(client.call_log) == 2
+        assert client.call_log[0].expression == "title='belief'"
+        assert client.call_log[0].result_size == 2
+        assert client.call_log[1].result_size == 0
+
+    def test_reset_accounting(self, tiny_server):
+        client = TextClient(tiny_server, log_calls=True)
+        client.search("TI='belief'")
+        client.reset_accounting()
+        assert client.ledger.total == 0
+        assert client.call_log == []
+
+
+def test_meta_properties(tiny_server):
+    client = TextClient(tiny_server)
+    assert client.document_count == 4
+    assert client.term_limit == 70

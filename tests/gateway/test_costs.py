@@ -1,0 +1,106 @@
+"""Unit + property tests for cost constants and the metered ledger
+(DESIGN.md invariant 5: ledger totals are exact)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GatewayError
+from repro.gateway.costs import PAPER_CONSTANTS, CostConstants, CostLedger
+
+
+class TestCostConstants:
+    def test_paper_defaults(self):
+        assert PAPER_CONSTANTS.invocation == 3.0
+        assert PAPER_CONSTANTS.per_posting == pytest.approx(1e-5)
+        assert PAPER_CONSTANTS.short_form == pytest.approx(0.015)
+        assert PAPER_CONSTANTS.long_form == 4.0
+
+    def test_long_form_orders_of_magnitude_above_short(self):
+        """Section 4.1: 'the long-form transmission cost is orders of
+        magnitude more expensive than the short-form cost'."""
+        assert PAPER_CONSTANTS.long_form / PAPER_CONSTANTS.short_form > 100
+
+    def test_search_cost_formula(self):
+        constants = CostConstants()
+        assert constants.search_cost(1000, 10) == pytest.approx(
+            3.0 + 1e-5 * 1000 + 0.015 * 10
+        )
+
+    def test_negative_rejected(self):
+        with pytest.raises(GatewayError):
+            CostConstants(invocation=-1)
+
+
+class TestLedger:
+    def test_charges_accumulate(self):
+        ledger = CostLedger()
+        ledger.charge_search(100, 5)
+        ledger.charge_search(50, 0)
+        ledger.charge_retrieve()
+        ledger.charge_rtp(20)
+        assert ledger.searches == 2
+        assert ledger.postings_processed == 150
+        assert ledger.short_documents == 5
+        assert ledger.long_documents == 1
+        assert ledger.rtp_documents == 20
+
+    def test_charge_returns_marginal_cost(self):
+        ledger = CostLedger()
+        cost = ledger.charge_search(100, 5)
+        assert cost == pytest.approx(ledger.constants.search_cost(100, 5))
+        assert ledger.charge_retrieve() == ledger.constants.long_form
+
+    def test_negative_rtp_rejected(self):
+        with pytest.raises(GatewayError):
+            CostLedger().charge_rtp(-1)
+
+    def test_reset(self):
+        ledger = CostLedger()
+        ledger.charge_search(1, 1)
+        ledger.reset()
+        assert ledger.total == 0
+
+    def test_snapshot_is_independent(self):
+        ledger = CostLedger()
+        ledger.charge_search(1, 1)
+        snap = ledger.snapshot()
+        ledger.charge_search(1, 1)
+        assert snap.searches == 1
+        assert ledger.searches == 2
+
+    def test_diff(self):
+        ledger = CostLedger()
+        ledger.charge_search(10, 2)
+        before = ledger.snapshot()
+        ledger.charge_search(5, 1)
+        ledger.charge_retrieve()
+        delta = ledger.diff(before)
+        assert delta.searches == 1
+        assert delta.postings_processed == 5
+        assert delta.long_documents == 1
+
+
+@given(
+    searches=st.lists(
+        st.tuples(st.integers(0, 10_000), st.integers(0, 200)), max_size=20
+    ),
+    retrieves=st.integers(0, 50),
+    rtp=st.integers(0, 10_000),
+)
+def test_ledger_total_is_exact_linear_form(searches, retrieves, rtp):
+    """total == c_i*searches + c_p*postings + c_s*short + c_l*long + c_a*rtp."""
+    ledger = CostLedger()
+    for postings, results in searches:
+        ledger.charge_search(postings, results)
+    for _ in range(retrieves):
+        ledger.charge_retrieve()
+    ledger.charge_rtp(rtp)
+    constants = ledger.constants
+    expected = (
+        constants.invocation * len(searches)
+        + constants.per_posting * sum(p for p, _ in searches)
+        + constants.short_form * sum(r for _, r in searches)
+        + constants.long_form * retrieves
+        + constants.rtp_per_document * rtp
+    )
+    assert ledger.total == pytest.approx(expected)

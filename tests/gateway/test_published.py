@@ -1,0 +1,71 @@
+"""Unit tests for published text-system statistics (Section 8)."""
+
+import pytest
+
+from repro.errors import StatisticsError
+from repro.gateway.published import (
+    field_statistics,
+    published_predicate_statistics,
+)
+from repro.gateway.sampling import exact_predicate_statistics
+
+
+class TestFieldStatistics:
+    def test_summary_values(self, tiny_server):
+        stats = field_statistics(tiny_server, "title")
+        assert stats.field == "title"
+        assert stats.vocabulary_size == tiny_server.index.vocabulary_size("title")
+        assert stats.max_document_frequency == 3  # 'systems'
+        assert stats.total_postings == sum(
+            tiny_server.document_frequency("title", term)
+            for term in tiny_server.index.vocabulary("title")
+        )
+
+    def test_histogram_covers_vocabulary(self, tiny_server):
+        stats = field_statistics(tiny_server, "title")
+        assert sum(count for _, count in stats.frequency_histogram) == (
+            stats.vocabulary_size
+        )
+
+    def test_costs_no_searches(self, tiny_server):
+        before = tiny_server.counters.searches
+        field_statistics(tiny_server, "author")
+        assert tiny_server.counters.searches == before
+
+
+class TestPublishedPredicateStatistics:
+    def test_single_word_values_exact(self, tiny_server):
+        values = ["radhika", "gravano", "nobody-known"]
+        published = published_predicate_statistics(
+            tiny_server, "c", "author", values
+        )
+        exact = exact_predicate_statistics(tiny_server, "c", "author", values)
+        assert published.selectivity == pytest.approx(exact.selectivity)
+        assert published.fanout == pytest.approx(exact.fanout)
+
+    def test_no_searches_sent(self, tiny_server):
+        before = tiny_server.counters.searches
+        published_predicate_statistics(
+            tiny_server, "c", "author", ["radhika", "gravano"]
+        )
+        assert tiny_server.counters.searches == before
+
+    def test_phrase_values_upper_bound(self, tiny_server):
+        """Phrases use the rarest word's frequency — an overestimate."""
+        values = ["belief revisited"]  # words co-occur only in d3's title
+        published = published_predicate_statistics(
+            tiny_server, "c", "title", values
+        )
+        exact = exact_predicate_statistics(tiny_server, "c", "title", values)
+        assert published.fanout >= exact.fanout
+        assert published.selectivity >= exact.selectivity
+
+    def test_unindexable_values_count_as_misses(self, tiny_server):
+        published = published_predicate_statistics(
+            tiny_server, "c", "author", ["radhika", "???"]
+        )
+        assert published.selectivity == pytest.approx(0.5)
+
+    def test_empty_values_rejected(self, tiny_server):
+        with pytest.raises(StatisticsError):
+            published_predicate_statistics(tiny_server, "c", "author", [None])

@@ -1,0 +1,63 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example is executed in-process via its ``main()`` so failures give
+real tracebacks; stdout is captured and spot-checked for the headline
+content each example promises.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, capsys):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart", capsys)
+    assert "Optimizer picks:" in out
+    assert "radhika" in out
+
+
+def test_hospital_records(capsys):
+    out = run_example("hospital_records", capsys)
+    assert "ICU conditions in clinical trials" in out
+    assert "-> executed" in out
+
+
+def test_image_library(capsys):
+    out = run_example("image_library", capsys)
+    assert "Chosen:" in out
+    assert "TS cross-check: identical results" in out
+
+
+@pytest.mark.slow
+def test_digital_library(capsys):
+    out = run_example("digital_library", capsys)
+    assert "Table 2" in out
+    assert "winner match = yes" in out
+
+
+@pytest.mark.slow
+def test_multi_join_optimization(capsys):
+    out = run_example("multi_join_optimization", capsys)
+    assert "PrL showcase" in out
+    assert "Probe(" in out
+
+
+def test_sql_interface(capsys):
+    out = run_example("sql_interface", capsys)
+    assert "Chosen: RTP" in out
+    assert "Q4 (students co-authoring with their advisors)" in out
+    assert "Executed:" in out

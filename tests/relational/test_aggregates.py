@@ -1,0 +1,125 @@
+"""Unit tests for GroupBy and the aggregate folds."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.relational.aggregates import (
+    GroupBy,
+    avg_of,
+    count,
+    count_rows,
+    max_of,
+    min_of,
+    sum_of,
+)
+from repro.relational.operators import TableScan
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+from repro.relational.types import DataType
+
+
+@pytest.fixture
+def sales():
+    table = Table(
+        "s",
+        Schema.of(
+            ("region", DataType.VARCHAR),
+            ("amount", DataType.INTEGER),
+        ),
+    )
+    table.insert_many(
+        [
+            ["east", 10],
+            ["east", 20],
+            ["west", 5],
+            ["west", None],
+            ["north", None],
+        ]
+    )
+    return table
+
+
+def rows_by_key(operator, key):
+    return {row[key]: row for row in operator}
+
+
+class TestGrouping:
+    def test_group_counts(self, sales):
+        out = rows_by_key(
+            GroupBy(TableScan(sales), ["s.region"], [count_rows()]), "s.region"
+        )
+        assert out["east"]["count"] == 2
+        assert out["west"]["count"] == 2
+        assert out["north"]["count"] == 1
+
+    def test_count_column_skips_nulls(self, sales):
+        out = rows_by_key(
+            GroupBy(TableScan(sales), ["s.region"], [count("s.amount")]),
+            "s.region",
+        )
+        assert out["east"]["count_amount"] == 2
+        assert out["west"]["count_amount"] == 1
+        assert out["north"]["count_amount"] == 0
+
+    def test_sum_min_max_avg(self, sales):
+        out = rows_by_key(
+            GroupBy(
+                TableScan(sales),
+                ["s.region"],
+                [sum_of("s.amount"), min_of("s.amount"),
+                 max_of("s.amount"), avg_of("s.amount")],
+            ),
+            "s.region",
+        )
+        east = out["east"]
+        assert east["sum_amount"] == 30.0
+        assert east["min_amount"] == 10
+        assert east["max_amount"] == 20
+        assert east["avg_amount"] == 15.0
+
+    def test_all_null_group_yields_null(self, sales):
+        out = rows_by_key(
+            GroupBy(TableScan(sales), ["s.region"], [sum_of("s.amount")]),
+            "s.region",
+        )
+        assert out["north"]["sum_amount"] is None
+
+    def test_keys_only_is_distinct(self, sales):
+        regions = {row["s.region"] for row in GroupBy(TableScan(sales), ["s.region"])}
+        assert regions == {"east", "west", "north"}
+
+    def test_first_seen_order(self, sales):
+        regions = [row["s.region"] for row in GroupBy(TableScan(sales), ["s.region"])]
+        assert regions == ["east", "west", "north"]
+
+
+class TestGlobalAggregate:
+    def test_whole_input_one_group(self, sales):
+        rows = list(GroupBy(TableScan(sales), [], [count_rows(), sum_of("s.amount")]))
+        assert len(rows) == 1
+        assert rows[0]["count"] == 5
+        assert rows[0]["sum_amount"] == 35.0
+
+    def test_empty_input_still_one_group(self, sales):
+        sales.clear()
+        rows = list(GroupBy(TableScan(sales), [], [count_rows(), sum_of("s.amount")]))
+        assert rows[0]["count"] == 0
+        assert rows[0]["sum_amount"] is None
+
+
+class TestValidation:
+    def test_needs_keys_or_aggregates(self, sales):
+        with pytest.raises(PlanError):
+            GroupBy(TableScan(sales), [], [])
+
+    def test_duplicate_outputs_rejected(self, sales):
+        with pytest.raises(PlanError):
+            GroupBy(
+                TableScan(sales),
+                ["s.region"],
+                [count_rows("x"), count("s.amount", "x")],
+            )
+
+    def test_output_schema(self, sales):
+        operator = GroupBy(TableScan(sales), ["s.region"], [count_rows()])
+        assert operator.output_schema.names() == ["s.region", "count"]

@@ -1,0 +1,75 @@
+"""Unit tests for CSV import/export round-trips."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.csv_io import load_table_csv, save_table_csv
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+from repro.relational.types import DataType
+
+SCHEMA = Schema.of(
+    ("name", DataType.VARCHAR),
+    ("year", DataType.INTEGER),
+    ("gpa", DataType.FLOAT),
+    ("active", DataType.BOOLEAN),
+)
+
+
+@pytest.fixture
+def table():
+    table = Table("s", SCHEMA)
+    table.insert(["kao", 3, 3.5, True])
+    table.insert(["smith", None, None, False])
+    table.insert(["o'brien, jr.", 1, 2.0, None])
+    return table
+
+
+def test_round_trip(table, tmp_path):
+    path = tmp_path / "s.csv"
+    save_table_csv(table, path)
+    loaded = load_table_csv("s2", SCHEMA, path)
+    assert [r.values for r in loaded.rows()] == [r.values for r in table.rows()]
+
+
+def test_nulls_round_trip_as_empty(table, tmp_path):
+    path = tmp_path / "s.csv"
+    save_table_csv(table, path)
+    loaded = load_table_csv("s2", SCHEMA, path)
+    assert loaded.rows()[1]["s2.year"] is None
+    assert loaded.rows()[2]["s2.active"] is None
+
+
+def test_header_mismatch_rejected(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("wrong,header\n1,2\n")
+    with pytest.raises(SchemaError, match="header"):
+        load_table_csv("x", SCHEMA, path)
+
+
+def test_field_count_mismatch_rejected(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("name,year,gpa,active\nonly-one-field\n")
+    with pytest.raises(SchemaError, match="expected 4 fields"):
+        load_table_csv("x", SCHEMA, path)
+
+
+def test_empty_file_rejected(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(SchemaError, match="empty"):
+        load_table_csv("x", SCHEMA, path)
+
+
+def test_reordered_columns_accepted(tmp_path):
+    path = tmp_path / "reordered.csv"
+    path.write_text("year,name,active,gpa\n3,kao,true,3.5\n")
+    loaded = load_table_csv("x", SCHEMA, path)
+    assert loaded.rows()[0].values == ("kao", 3, 3.5, True)
+
+
+def test_bad_boolean_rejected(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("name,year,gpa,active\nkao,3,3.5,maybe\n")
+    with pytest.raises(SchemaError, match="boolean"):
+        load_table_csv("x", SCHEMA, path)

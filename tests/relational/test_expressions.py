@@ -1,0 +1,186 @@
+"""Unit + property tests for the expression language (3-valued logic)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ExpressionError, TypeMismatchError
+from repro.relational.expressions import (
+    And,
+    ColumnRef,
+    Comparison,
+    Contains,
+    InList,
+    Like,
+    Literal,
+    Not,
+    Or,
+    conjoin,
+    conjuncts,
+)
+from repro.relational.row import Row
+from repro.relational.schema import Schema
+from repro.relational.types import DataType
+
+SCHEMA = Schema.of(
+    ("s.name", DataType.VARCHAR),
+    ("s.year", DataType.INTEGER),
+    ("s.note", DataType.VARCHAR),
+)
+
+
+def row(name="kao", year=3, note="belief update matters"):
+    return Row(SCHEMA, [name, year, note])
+
+
+class TestComparison:
+    def test_operators(self):
+        r = row(year=3)
+        assert Comparison("=", ColumnRef("s.year"), Literal(3)).evaluate(r) is True
+        assert Comparison("!=", ColumnRef("s.year"), Literal(3)).evaluate(r) is False
+        assert Comparison("<", ColumnRef("s.year"), Literal(4)).evaluate(r) is True
+        assert Comparison("<=", ColumnRef("s.year"), Literal(3)).evaluate(r) is True
+        assert Comparison(">", ColumnRef("s.year"), Literal(3)).evaluate(r) is False
+        assert Comparison(">=", ColumnRef("s.year"), Literal(4)).evaluate(r) is False
+
+    def test_null_is_unknown(self):
+        r = row(year=None)
+        assert Comparison("=", ColumnRef("s.year"), Literal(3)).evaluate(r) is None
+        assert Comparison("!=", ColumnRef("s.year"), Literal(3)).evaluate(r) is None
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ExpressionError):
+            Comparison("~", Literal(1), Literal(2))
+
+    def test_type_mismatch_raises(self):
+        with pytest.raises(TypeMismatchError):
+            Comparison("<", ColumnRef("s.name"), Literal(3)).evaluate(row())
+
+
+class TestBooleanLogic:
+    def test_and_short_circuit_false_beats_unknown(self):
+        unknown = Comparison("=", ColumnRef("s.year"), Literal(1))
+        false = Comparison("=", Literal(1), Literal(2))
+        assert And((unknown, false)).evaluate(row(year=None)) is False
+
+    def test_and_unknown_when_no_false(self):
+        unknown = Comparison("=", ColumnRef("s.year"), Literal(1))
+        true = Comparison("=", Literal(1), Literal(1))
+        assert And((unknown, true)).evaluate(row(year=None)) is None
+
+    def test_or_true_beats_unknown(self):
+        unknown = Comparison("=", ColumnRef("s.year"), Literal(1))
+        true = Comparison("=", Literal(1), Literal(1))
+        assert Or((unknown, true)).evaluate(row(year=None)) is True
+
+    def test_or_unknown_when_no_true(self):
+        unknown = Comparison("=", ColumnRef("s.year"), Literal(1))
+        false = Comparison("=", Literal(1), Literal(2))
+        assert Or((unknown, false)).evaluate(row(year=None)) is None
+
+    def test_not_of_unknown_is_unknown(self):
+        unknown = Comparison("=", ColumnRef("s.year"), Literal(1))
+        assert Not(unknown).evaluate(row(year=None)) is None
+
+    def test_operator_overloads(self):
+        a = Comparison("=", Literal(1), Literal(1))
+        b = Comparison("=", Literal(2), Literal(2))
+        assert (a & b).evaluate(row()) is True
+        assert (a | b).evaluate(row()) is True
+        assert (~a).evaluate(row()) is False
+
+    def test_empty_connectives_rejected(self):
+        with pytest.raises(ExpressionError):
+            And(())
+        with pytest.raises(ExpressionError):
+            Or(())
+
+
+class TestLike:
+    def test_percent_wildcard(self):
+        assert Like(ColumnRef("s.note"), "belief%").evaluate(row()) is True
+        assert Like(ColumnRef("s.note"), "%update%").evaluate(row()) is True
+        assert Like(ColumnRef("s.note"), "update%").evaluate(row()) is False
+
+    def test_underscore_wildcard(self):
+        assert Like(ColumnRef("s.name"), "k_o").evaluate(row()) is True
+
+    def test_regex_metacharacters_escaped(self):
+        r = row(note="a.c")
+        assert Like(ColumnRef("s.note"), "a.c").evaluate(r) is True
+        assert Like(ColumnRef("s.note"), "abc").evaluate(r) is False
+
+    def test_null_unknown(self):
+        assert Like(ColumnRef("s.note"), "%").evaluate(row(note=None)) is None
+
+
+class TestContains:
+    def test_word_boundary(self):
+        r = row(note="the belief update operator")
+        assert Contains(ColumnRef("s.note"), Literal("belief update")).evaluate(r) is True
+        assert Contains(ColumnRef("s.note"), Literal("lief upd")).evaluate(r) is False
+
+    def test_substring_mode(self):
+        r = row(note="the belief update operator")
+        expr = Contains(ColumnRef("s.note"), Literal("lief upd"), word_boundary=False)
+        assert expr.evaluate(r) is True
+
+    def test_case_insensitive(self):
+        r = row(note="Belief Update")
+        assert Contains(ColumnRef("s.note"), Literal("belief")).evaluate(r) is True
+
+
+class TestInList:
+    def test_membership(self):
+        assert InList(ColumnRef("s.name"), ("kao", "pham")).evaluate(row()) is True
+        assert InList(ColumnRef("s.name"), ("pham",)).evaluate(row()) is False
+
+    def test_null_unknown(self):
+        assert InList(ColumnRef("s.name"), ("kao",)).evaluate(row(name=None)) is None
+
+
+class TestConjuncts:
+    def test_flattening(self):
+        a = Comparison("=", Literal(1), Literal(1))
+        b = Comparison("=", Literal(2), Literal(2))
+        c = Comparison("=", Literal(3), Literal(3))
+        nested = And((a, And((b, c))))
+        assert conjuncts(nested) == [a, b, c]
+
+    def test_conjoin_roundtrip(self):
+        a = Comparison("=", Literal(1), Literal(1))
+        b = Comparison("=", Literal(2), Literal(2))
+        assert conjoin([]) is None
+        assert conjoin([a]) is a
+        assert conjuncts(conjoin([a, b])) == [a, b]
+
+    def test_referenced_columns(self):
+        expr = And(
+            (
+                Comparison("=", ColumnRef("s.name"), Literal("x")),
+                Comparison(">", ColumnRef("s.year"), Literal(1)),
+            )
+        )
+        assert expr.referenced_columns() == {"s.name", "s.year"}
+
+
+@given(
+    year=st.one_of(st.none(), st.integers(-5, 5)),
+    bound=st.integers(-5, 5),
+)
+def test_comparison_never_true_and_false_complement(year, bound):
+    """For non-NULL values, = and != are complementary; NULL gives unknown."""
+    r = row(year=year)
+    eq = Comparison("=", ColumnRef("s.year"), Literal(bound)).evaluate(r)
+    ne = Comparison("!=", ColumnRef("s.year"), Literal(bound)).evaluate(r)
+    if year is None:
+        assert eq is None and ne is None
+    else:
+        assert eq == (not ne)
+
+
+@given(values=st.lists(st.booleans(), min_size=1, max_size=6))
+def test_and_or_match_python_semantics_on_booleans(values):
+    operands = tuple(Comparison("=", Literal(v), Literal(True)) for v in values)
+    r = row()
+    assert And(operands).evaluate(r) == all(values)
+    assert Or(operands).evaluate(r) == any(values)

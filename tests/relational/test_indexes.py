@@ -1,0 +1,64 @@
+"""Unit tests for secondary indexes."""
+
+import pytest
+
+from repro.relational.indexes import HashIndex, SortedIndex
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+from repro.relational.types import DataType
+
+
+@pytest.fixture
+def table():
+    table = Table(
+        "t", Schema.of(("k", DataType.INTEGER), ("v", DataType.VARCHAR))
+    )
+    table.insert_many(
+        [[3, "c"], [1, "a"], [2, "b"], [3, "c2"], [None, "null-key"]]
+    )
+    return table
+
+
+class TestHashIndex:
+    def test_lookup(self, table):
+        index = HashIndex(table, "k")
+        assert [r["t.v"] for r in index.lookup(3)] == ["c", "c2"]
+        assert index.lookup(99) == []
+
+    def test_null_never_matches(self, table):
+        index = HashIndex(table, "k")
+        assert index.lookup(None) == []
+
+    def test_nulls_excluded_from_index(self, table):
+        index = HashIndex(table, "k")
+        assert len(index) == 4
+        assert sorted(index.distinct_keys()) == [1, 2, 3]
+
+    def test_qualified_column_name(self, table):
+        index = HashIndex(table, "t.k")
+        assert len(index.lookup(1)) == 1
+
+
+class TestSortedIndex:
+    def test_equality(self, table):
+        index = SortedIndex(table, "k")
+        assert [r["t.v"] for r in index.lookup(3)] == ["c", "c2"]
+
+    def test_range_inclusive(self, table):
+        index = SortedIndex(table, "k")
+        assert [r["t.k"] for r in index.range(1, 2)] == [1, 2]
+
+    def test_range_exclusive(self, table):
+        index = SortedIndex(table, "k")
+        out = [r["t.k"] for r in index.range(1, 3, include_low=False, include_high=False)]
+        assert out == [2]
+
+    def test_open_ranges(self, table):
+        index = SortedIndex(table, "k")
+        assert [r["t.k"] for r in index.range(low=2)] == [2, 3, 3]
+        assert [r["t.k"] for r in index.range(high=1)] == [1]
+        assert len(list(index.range())) == 4
+
+    def test_null_lookup_empty(self, table):
+        index = SortedIndex(table, "k")
+        assert index.lookup(None) == []

@@ -1,0 +1,81 @@
+"""Unit tests for relational statistics collection and estimation."""
+
+import pytest
+
+from repro.errors import StatisticsError
+from repro.relational.expressions import And, ColumnRef, Comparison, Like, Literal
+from repro.relational.schema import Schema
+from repro.relational.statistics import collect_table_statistics
+from repro.relational.table import Table
+from repro.relational.types import DataType
+
+
+@pytest.fixture
+def stats():
+    table = Table(
+        "t",
+        Schema.of(("area", DataType.VARCHAR), ("year", DataType.INTEGER)),
+    )
+    for area, year in [
+        ("ai", 1), ("ai", 2), ("ai", 3), ("db", 4), ("db", None), ("th", 5),
+    ]:
+        table.insert([area, year])
+    return collect_table_statistics(table)
+
+
+def test_row_count(stats):
+    assert stats.row_count == 6
+
+
+def test_distinct_and_null_counts(stats):
+    assert stats.distinct_count("area") == 3
+    assert stats.column("year").null_count == 1
+    assert stats.distinct_count("year") == 5
+
+
+def test_most_common(stats):
+    assert stats.column("area").most_common[0] == ("ai", 3)
+    assert stats.column("area").top_frequency == 3
+
+
+def test_qualified_name_accepted(stats):
+    assert stats.distinct_count("t.area") == 3
+
+
+def test_unknown_column_raises(stats):
+    with pytest.raises(StatisticsError):
+        stats.column("nope")
+
+
+def test_equality_selectivity(stats):
+    assert stats.selectivity_of_equality("area") == pytest.approx(1 / 3)
+
+
+class TestRowEstimates:
+    def test_no_predicate(self, stats):
+        assert stats.estimated_rows_after(None) == 6
+
+    def test_equality(self, stats):
+        predicate = Comparison("=", ColumnRef("area"), Literal("ai"))
+        assert stats.estimated_rows_after(predicate) == pytest.approx(2.0)
+
+    def test_range_uses_one_third(self, stats):
+        predicate = Comparison(">", ColumnRef("year"), Literal(2))
+        assert stats.estimated_rows_after(predicate) == pytest.approx(2.0)
+
+    def test_inequality(self, stats):
+        predicate = Comparison("!=", ColumnRef("area"), Literal("ai"))
+        assert stats.estimated_rows_after(predicate) == pytest.approx(4.0)
+
+    def test_conjunction_multiplies(self, stats):
+        predicate = And(
+            (
+                Comparison("=", ColumnRef("area"), Literal("ai")),
+                Comparison(">", ColumnRef("year"), Literal(2)),
+            )
+        )
+        assert stats.estimated_rows_after(predicate) == pytest.approx(6 / 3 / 3)
+
+    def test_like_default(self, stats):
+        predicate = Like(ColumnRef("area"), "a%")
+        assert stats.estimated_rows_after(predicate) == pytest.approx(0.6)

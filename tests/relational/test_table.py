@@ -1,0 +1,100 @@
+"""Unit tests for Table and Catalog."""
+
+import pytest
+
+from repro.errors import CatalogError, SchemaError, TypeMismatchError
+from repro.relational.catalog import Catalog
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+from repro.relational.types import DataType
+
+
+@pytest.fixture
+def table():
+    table = Table(
+        "student",
+        Schema.of(("name", DataType.VARCHAR), ("year", DataType.INTEGER)),
+    )
+    table.insert(["kao", 3])
+    table.insert(["smith", None])
+    table.insert(["kao", 5])
+    return table
+
+
+class TestTable:
+    def test_scan_yields_qualified_rows(self, table):
+        rows = table.rows()
+        assert len(rows) == 3
+        assert rows[0]["student.name"] == "kao"
+        assert rows[0].schema.names() == ["student.name", "student.year"]
+
+    def test_insert_type_checked(self, table):
+        with pytest.raises(TypeMismatchError):
+            table.insert(["x", "not-an-int"])
+
+    def test_insert_arity_checked(self, table):
+        with pytest.raises(SchemaError):
+            table.insert(["too-few"])
+
+    def test_insert_dict(self, table):
+        table.insert_dict({"name": "pham"})
+        assert table.rows()[-1]["student.year"] is None
+
+    def test_insert_dict_unknown_key(self, table):
+        with pytest.raises(SchemaError):
+            table.insert_dict({"nope": 1})
+
+    def test_null_round_trip(self, table):
+        assert table.rows()[1]["student.year"] is None
+
+    def test_column_values(self, table):
+        assert table.column_values("name") == ["kao", "smith", "kao"]
+        assert table.column_values("student.name") == ["kao", "smith", "kao"]
+
+    def test_distinct_values_skip_nulls(self, table):
+        assert table.distinct_values("year") == [3, 5]
+        assert table.distinct_count("name") == 2
+
+    def test_clear(self, table):
+        table.clear()
+        assert len(table) == 0
+
+    def test_qualified_schema_rejects_foreign_qualifier(self):
+        with pytest.raises(SchemaError):
+            Table("a", Schema.of(("b.x", DataType.VARCHAR)))
+
+    def test_accepts_own_qualifier(self):
+        table = Table("a", Schema.of(("a.x", DataType.VARCHAR)))
+        assert table.schema.names() == ["a.x"]
+
+
+class TestCatalog:
+    def test_create_and_lookup(self):
+        catalog = Catalog()
+        table = catalog.create_table("t", Schema.of(("x", DataType.INTEGER)))
+        assert catalog.table("t") is table
+        assert "t" in catalog
+
+    def test_duplicate_rejected(self):
+        catalog = Catalog()
+        catalog.create_table("t", Schema.of(("x", DataType.INTEGER)))
+        with pytest.raises(CatalogError):
+            catalog.create_table("t", Schema.of(("y", DataType.INTEGER)))
+
+    def test_missing_lookup_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().table("nope")
+
+    def test_drop(self):
+        catalog = Catalog()
+        catalog.create_table("t", Schema.of(("x", DataType.INTEGER)))
+        catalog.drop_table("t")
+        assert "t" not in catalog
+        with pytest.raises(CatalogError):
+            catalog.drop_table("t")
+
+    def test_register_existing(self):
+        catalog = Catalog()
+        table = Table("t", Schema.of(("x", DataType.INTEGER)))
+        catalog.register(table)
+        assert catalog.table_names() == ["t"]

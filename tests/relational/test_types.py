@@ -1,0 +1,67 @@
+"""Unit tests for relational value types and coercion."""
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.relational.types import DataType, coerce_value, infer_type, python_type_of
+
+
+class TestInferType:
+    def test_string(self):
+        assert infer_type("hello") is DataType.VARCHAR
+
+    def test_integer(self):
+        assert infer_type(42) is DataType.INTEGER
+
+    def test_float(self):
+        assert infer_type(4.2) is DataType.FLOAT
+
+    def test_bool_not_integer(self):
+        """bool is a subclass of int in Python; must map to BOOLEAN."""
+        assert infer_type(True) is DataType.BOOLEAN
+
+    def test_unsupported_raises(self):
+        with pytest.raises(TypeMismatchError):
+            infer_type([1, 2])
+
+
+class TestCoerceValue:
+    def test_null_passes_through(self):
+        for data_type in DataType:
+            assert coerce_value(None, data_type) is None
+
+    def test_varchar(self):
+        assert coerce_value("x", DataType.VARCHAR) == "x"
+
+    def test_integer(self):
+        assert coerce_value(7, DataType.INTEGER) == 7
+
+    def test_int_widens_to_float(self):
+        value = coerce_value(7, DataType.FLOAT)
+        assert value == 7.0 and isinstance(value, float)
+
+    def test_bool_rejected_for_integer(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(True, DataType.INTEGER)
+
+    def test_bool_rejected_for_float(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(False, DataType.FLOAT)
+
+    def test_string_rejected_for_integer(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value("7", DataType.INTEGER)
+
+    def test_number_rejected_for_varchar(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(7, DataType.VARCHAR)
+
+    def test_boolean_accepts_bool(self):
+        assert coerce_value(True, DataType.BOOLEAN) is True
+
+
+def test_python_type_mapping():
+    assert python_type_of(DataType.VARCHAR) is str
+    assert python_type_of(DataType.INTEGER) is int
+    assert python_type_of(DataType.FLOAT) is float
+    assert python_type_of(DataType.BOOLEAN) is bool

@@ -1,0 +1,56 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.SchemaError,
+    errors.CatalogError,
+    errors.ExpressionError,
+    errors.TypeMismatchError,
+    errors.TextSystemError,
+    errors.SearchSyntaxError,
+    errors.SearchLimitExceeded,
+    errors.UnknownFieldError,
+    errors.UnknownDocumentError,
+    errors.GatewayError,
+    errors.StatisticsError,
+    errors.PlanError,
+    errors.OptimizationError,
+    errors.JoinMethodError,
+    errors.WorkloadError,
+]
+
+
+def test_every_error_derives_from_repro_error():
+    for error_type in ALL_ERRORS:
+        assert issubclass(error_type, errors.ReproError)
+
+
+def test_text_system_subhierarchy():
+    for error_type in (
+        errors.SearchSyntaxError,
+        errors.SearchLimitExceeded,
+        errors.UnknownFieldError,
+        errors.UnknownDocumentError,
+    ):
+        assert issubclass(error_type, errors.TextSystemError)
+
+
+def test_type_mismatch_is_expression_error():
+    assert issubclass(errors.TypeMismatchError, errors.ExpressionError)
+
+
+def test_catching_library_errors_does_not_catch_programming_errors():
+    with pytest.raises(TypeError):
+        try:
+            raise TypeError("not a library error")
+        except errors.ReproError:  # pragma: no cover - must not trigger
+            pytest.fail("ReproError must not swallow TypeError")
+
+
+def test_all_exports_match_module():
+    for name in errors.__all__:
+        assert hasattr(errors, name)

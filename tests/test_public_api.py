@@ -1,0 +1,75 @@
+"""Public-API stability: every exported name resolves and is importable
+from its documented location."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.relational",
+    "repro.textsys",
+    "repro.gateway",
+    "repro.core",
+    "repro.core.joinmethods",
+    "repro.core.optimizer",
+    "repro.workload",
+    "repro.bench",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), package_name
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.{name}"
+
+
+def test_top_level_surface():
+    import repro
+
+    # The names the README quickstart leans on.
+    for name in (
+        "TextJoinQuery",
+        "TupleSubstitution",
+        "JoinContext",
+        "TextClient",
+        "Catalog",
+        "BooleanTextServer",
+        "build_cost_inputs",
+        "choose_join_method",
+        "optimize_multijoin",
+        "execute_plan",
+    ):
+        assert hasattr(repro, name)
+    assert repro.__version__ == "1.0.0"
+
+
+def test_core_extension_surface():
+    from repro import core
+
+    for name in (
+        "parse_query",
+        "render_query",
+        "explain_query",
+        "execute_adaptively",
+        "BatchedTupleSubstitution",
+    ):
+        assert hasattr(core, name)
+
+
+def test_no_import_cycles_under_fresh_import():
+    """Importing any subpackage first must not blow up on cycles."""
+    import subprocess
+    import sys
+
+    for package_name in PACKAGES:
+        result = subprocess.run(
+            [sys.executable, "-c", f"import {package_name}"],
+            capture_output=True,
+        )
+        assert result.returncode == 0, (
+            package_name,
+            result.stderr.decode()[:500],
+        )

@@ -1,0 +1,134 @@
+"""Evaluation tests, including the index-vs-brute-force equivalence
+property (DESIGN.md invariant 4)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.textsys.documents import Document, DocumentStore
+from repro.textsys.engine import evaluate, matches_document
+from repro.textsys.inverted_index import InvertedIndex
+from repro.textsys.query import (
+    AndQuery,
+    NotQuery,
+    OrQuery,
+    PhraseQuery,
+    ProximityQuery,
+    SearchNode,
+    TermQuery,
+    TruncatedQuery,
+)
+
+
+@pytest.fixture
+def index(tiny_store):
+    return InvertedIndex(tiny_store)
+
+
+def docids(index, result):
+    return [index.docid_of(p.doc) for p in result.postings]
+
+
+class TestBasicEvaluation:
+    def test_term(self, index):
+        result = evaluate(index, TermQuery("title", "belief"))
+        assert docids(index, result) == ["d1", "d3"]
+        assert result.postings_processed == 2
+
+    def test_phrase_requires_adjacency(self, index):
+        result = evaluate(index, PhraseQuery("title", ("belief", "update")))
+        assert docids(index, result) == ["d1", "d3"]
+        # "update ... belief" in reverse does not match
+        reverse = evaluate(index, PhraseQuery("title", ("update", "belief")))
+        assert docids(index, reverse) == []
+
+    def test_three_word_phrase(self, index):
+        result = evaluate(index, PhraseQuery("title", ("belief", "update", "revisited")))
+        assert docids(index, result) == ["d3"]
+
+    def test_truncation(self, index):
+        result = evaluate(index, TruncatedQuery("title", "sys"))
+        assert docids(index, result) == ["d1", "d2", "d4"]
+
+    def test_proximity(self, index):
+        near = evaluate(index, ProximityQuery("abstract", "information", "filtering", 1))
+        assert docids(index, near) == ["d2"]
+        wide = evaluate(index, ProximityQuery("abstract", "information", "filtering", 2))
+        assert docids(index, wide) == ["d2", "d4"]
+
+    def test_and(self, index):
+        node = AndQuery((TermQuery("title", "belief"), TermQuery("author", "smith")))
+        assert docids(index, evaluate(index, node)) == ["d3"]
+
+    def test_or(self, index):
+        node = OrQuery((TermQuery("author", "gravano"), TermQuery("author", "nobody")))
+        assert docids(index, evaluate(index, node)) == ["d2", "d4"]
+
+    def test_not_complements_collection(self, index):
+        node = NotQuery(TermQuery("title", "belief"))
+        assert docids(index, evaluate(index, node)) == ["d2", "d4"]
+
+    def test_postings_processed_accumulates(self, index):
+        # 'belief' appears in 2 titles, 'systems' in 3 (d1, d2, d4).
+        node = AndQuery((TermQuery("title", "belief"), TermQuery("title", "systems")))
+        result = evaluate(index, node)
+        assert result.postings_processed == 2 + 3
+
+
+# ----------------------------------------------------------------------
+# property: inverted-index evaluation == brute-force evaluation
+# ----------------------------------------------------------------------
+WORDS = ["alpha", "beta", "gamma", "delta", "epsilon"]
+
+
+def random_store(rng: random.Random, doc_count: int) -> DocumentStore:
+    store = DocumentStore(["title", "body"])
+    for i in range(doc_count):
+        title = " ".join(rng.choices(WORDS, k=rng.randint(0, 6)))
+        body = " ".join(rng.choices(WORDS, k=rng.randint(0, 10)))
+        store.add(Document(f"d{i}", {"title": title, "body": body}))
+    return store
+
+
+def random_query(rng: random.Random, depth: int = 3) -> SearchNode:
+    if depth == 0 or rng.random() < 0.4:
+        kind = rng.randrange(4)
+        field = rng.choice(["title", "body"])
+        if kind == 0:
+            return TermQuery(field, rng.choice(WORDS))
+        if kind == 1:
+            return PhraseQuery(
+                field, (rng.choice(WORDS), rng.choice(WORDS))
+            )
+        if kind == 2:
+            return TruncatedQuery(field, rng.choice(WORDS)[: rng.randint(1, 3)])
+        return ProximityQuery(
+            field, rng.choice(WORDS), rng.choice(WORDS), rng.randint(1, 4)
+        )
+    connective = rng.randrange(3)
+    if connective == 0:
+        return AndQuery((random_query(rng, depth - 1), random_query(rng, depth - 1)))
+    if connective == 1:
+        return OrQuery((random_query(rng, depth - 1), random_query(rng, depth - 1)))
+    return NotQuery(random_query(rng, depth - 1))
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_index_evaluation_matches_brute_force(seed):
+    """For random corpora and random Boolean queries, evaluating through
+    inverted lists returns exactly the documents the reference per-document
+    matcher accepts."""
+    rng = random.Random(seed)
+    store = random_store(rng, rng.randint(1, 15))
+    index = InvertedIndex(store)
+    for _ in range(5):
+        query = random_query(rng)
+        via_index = set(docids(index, evaluate(index, query)))
+        via_scan = {
+            document.docid
+            for document in store
+            if matches_document(document, query)
+        }
+        assert via_index == via_scan, query.to_expression()

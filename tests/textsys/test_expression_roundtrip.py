@@ -1,0 +1,81 @@
+"""Property test: SearchNode.to_expression() parses back to itself."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.textsys.parser import parse_search
+from repro.textsys.query import (
+    AndQuery,
+    NotQuery,
+    OrQuery,
+    PhraseQuery,
+    ProximityQuery,
+    SearchNode,
+    TermQuery,
+    TruncatedQuery,
+)
+
+WORDS = ["alpha", "beta", "gamma", "delta"]
+FIELDS = ["title", "author", "abstract"]
+
+
+def random_node(rng: random.Random, depth: int) -> SearchNode:
+    if depth == 0 or rng.random() < 0.45:
+        field = rng.choice(FIELDS)
+        kind = rng.randrange(4)
+        if kind == 0:
+            return TermQuery(field, rng.choice(WORDS))
+        if kind == 1:
+            return PhraseQuery(
+                field,
+                tuple(rng.choices(WORDS, k=rng.randint(2, 4))),
+            )
+        if kind == 2:
+            return TruncatedQuery(field, rng.choice(WORDS)[: rng.randint(1, 4)])
+        return ProximityQuery(
+            field, rng.choice(WORDS), rng.choice(WORDS), rng.randint(1, 20)
+        )
+    kind = rng.randrange(3)
+    if kind == 0:
+        return AndQuery(
+            tuple(random_node(rng, depth - 1) for _ in range(rng.randint(1, 3)))
+        )
+    if kind == 1:
+        return OrQuery(
+            tuple(random_node(rng, depth - 1) for _ in range(rng.randint(1, 3)))
+        )
+    return NotQuery(random_node(rng, depth - 1))
+
+
+def normalize(node: SearchNode) -> SearchNode:
+    """Collapse single-operand connectives (the parser never emits them)."""
+    if isinstance(node, AndQuery):
+        operands = tuple(normalize(op) for op in node.operands)
+        return operands[0] if len(operands) == 1 else AndQuery(operands)
+    if isinstance(node, OrQuery):
+        operands = tuple(normalize(op) for op in node.operands)
+        return operands[0] if len(operands) == 1 else OrQuery(operands)
+    if isinstance(node, NotQuery):
+        return NotQuery(normalize(node.operand))
+    return node
+
+
+@settings(max_examples=100, deadline=None)
+@given(seed=st.integers(0, 1_000_000))
+def test_to_expression_round_trips(seed):
+    rng = random.Random(seed)
+    node = normalize(random_node(rng, depth=3))
+    rendered = node.to_expression()
+    # Full field names are used, so no field-code mapping is involved.
+    parsed = parse_search(rendered, field_codes={})
+    assert parsed == node, rendered
+
+
+@settings(max_examples=100, deadline=None)
+@given(seed=st.integers(0, 1_000_000))
+def test_round_trip_preserves_term_count(seed):
+    rng = random.Random(seed)
+    node = normalize(random_node(rng, depth=3))
+    parsed = parse_search(node.to_expression(), field_codes={})
+    assert parsed.term_count() == node.term_count()

@@ -1,0 +1,81 @@
+"""Tests for the [DH91] disk-page model of inverted-list storage."""
+
+import pytest
+
+from repro.textsys.documents import Document, DocumentStore
+from repro.textsys.inverted_index import InvertedIndex
+from repro.textsys.query import TermQuery, TruncatedQuery
+from repro.textsys.engine import evaluate
+
+
+def store_with(word: str, doc_count: int) -> DocumentStore:
+    store = DocumentStore(["body"])
+    for i in range(doc_count):
+        store.add(Document(f"d{i}", {"body": word}))
+    return store
+
+
+class TestPageMath:
+    def test_pages_for(self):
+        index = InvertedIndex(store_with("x", 1), page_capacity=10)
+        assert index.pages_for(0) == 0
+        assert index.pages_for(1) == 1
+        assert index.pages_for(10) == 1
+        assert index.pages_for(11) == 2
+        assert index.pages_for(25) == 3
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            InvertedIndex(store_with("x", 1), page_capacity=0)
+
+    def test_default_capacity(self):
+        index = InvertedIndex(store_with("x", 1))
+        assert index.page_capacity == 256
+
+
+class TestAccounting:
+    def test_lookup_charges_pages(self):
+        index = InvertedIndex(store_with("hot", 25), page_capacity=10)
+        index.lookup("body", "hot")
+        assert index.pages_read == 3
+
+    def test_missing_term_reads_nothing(self):
+        """The in-memory directory answers misses without disk I/O."""
+        index = InvertedIndex(store_with("hot", 25), page_capacity=10)
+        index.lookup("body", "cold")
+        assert index.pages_read == 0
+
+    def test_pages_accumulate_across_lookups(self):
+        index = InvertedIndex(store_with("hot", 25), page_capacity=10)
+        index.lookup("body", "hot")
+        index.lookup("body", "hot")
+        assert index.pages_read == 6
+
+    def test_prefix_expansion_charges_each_list(self):
+        store = DocumentStore(["body"])
+        for i in range(12):
+            store.add(Document(f"a{i}", {"body": "alpha"}))
+        for i in range(5):
+            store.add(Document(f"b{i}", {"body": "alps"}))
+        index = InvertedIndex(store, page_capacity=10)
+        evaluate(index, TruncatedQuery("body", "al"))
+        # alpha: 12 postings -> 2 pages; alps: 5 postings -> 1 page.
+        assert index.pages_read == 3
+
+    def test_boolean_evaluation_reads_every_operand_list(self):
+        store = DocumentStore(["body"])
+        for i in range(10):
+            store.add(Document(f"d{i}", {"body": "x y"}))
+        index = InvertedIndex(store, page_capacity=4)
+        from repro.textsys.query import AndQuery
+
+        evaluate(index, AndQuery((TermQuery("body", "x"), TermQuery("body", "y"))))
+        # two lists of 10 postings at 4/page -> 3 + 3 pages.
+        assert index.pages_read == 6
+
+    def test_pages_proportional_to_postings(self):
+        """Page reads track the cost model's postings term within one
+        page of rounding per list."""
+        index = InvertedIndex(store_with("hot", 1000), page_capacity=100)
+        result = evaluate(index, TermQuery("body", "hot"))
+        assert index.pages_read == result.postings_processed / 100

@@ -1,0 +1,112 @@
+"""Unit tests for the search-expression parser."""
+
+import pytest
+
+from repro.errors import SearchSyntaxError
+from repro.textsys.parser import DEFAULT_FIELD_CODES, parse_search, term_node
+from repro.textsys.query import (
+    AndQuery,
+    NotQuery,
+    OrQuery,
+    PhraseQuery,
+    ProximityQuery,
+    TermQuery,
+    TruncatedQuery,
+)
+
+
+class TestTerms:
+    def test_field_code_resolution(self):
+        node = parse_search("TI='belief'")
+        assert node == TermQuery("title", "belief")
+
+    def test_full_field_name(self):
+        node = parse_search("abstract='belief'")
+        assert node == TermQuery("abstract", "belief")
+
+    def test_phrase(self):
+        node = parse_search("TI='belief update'")
+        assert node == PhraseQuery("title", ("belief", "update"))
+
+    def test_truncation(self):
+        node = parse_search("TI='filter?'")
+        assert node == TruncatedQuery("title", "filter")
+
+    def test_proximity(self):
+        node = parse_search("AB='information near10 filtering'")
+        assert node == ProximityQuery("abstract", "information", "filtering", 10)
+
+    def test_custom_field_codes(self):
+        node = parse_search("XX='a'", field_codes={"XX": "myfield"})
+        assert node == TermQuery("myfield", "a")
+
+
+class TestConnectives:
+    def test_and(self):
+        node = parse_search("TI='belief update' and AU='smith'")
+        assert isinstance(node, AndQuery)
+        assert node.term_count() == 2
+
+    def test_or_precedence_lower_than_and(self):
+        node = parse_search("TI='a' and TI='b' or TI='c'")
+        assert isinstance(node, OrQuery)
+        assert isinstance(node.operands[0], AndQuery)
+
+    def test_parentheses(self):
+        node = parse_search("TI='a' and (TI='b' or TI='c')")
+        assert isinstance(node, AndQuery)
+        assert isinstance(node.operands[1], OrQuery)
+
+    def test_not(self):
+        node = parse_search("not TI='a'")
+        assert isinstance(node, NotQuery)
+
+    def test_case_insensitive_keywords(self):
+        node = parse_search("TI='a' AND TI='b' OR NOT TI='c'")
+        assert isinstance(node, OrQuery)
+
+    def test_paper_example(self):
+        """The Q1 instantiation from Example 3.1."""
+        node = parse_search("TI='belief update' and AU='radhika'")
+        assert node == AndQuery(
+            (
+                PhraseQuery("title", ("belief", "update")),
+                TermQuery("author", "radhika"),
+            )
+        )
+
+
+class TestErrors:
+    def test_empty(self):
+        with pytest.raises(SearchSyntaxError):
+            parse_search("")
+
+    def test_unbalanced_parenthesis(self):
+        with pytest.raises(SearchSyntaxError):
+            parse_search("(TI='a'")
+
+    def test_missing_quotes(self):
+        with pytest.raises(SearchSyntaxError):
+            parse_search("TI=belief")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SearchSyntaxError):
+            parse_search("TI='a' TI='b'")
+
+    def test_missing_equals(self):
+        with pytest.raises(SearchSyntaxError):
+            parse_search("TI 'a'")
+
+
+class TestTermNode:
+    def test_dispatch(self):
+        assert isinstance(term_node("t", "word"), TermQuery)
+        assert isinstance(term_node("t", "two words"), PhraseQuery)
+        assert isinstance(term_node("t", "pre?"), TruncatedQuery)
+        assert isinstance(term_node("t", "a near3 b"), ProximityQuery)
+
+
+def test_default_field_codes_cover_bibliographic_fields():
+    assert DEFAULT_FIELD_CODES["TI"] == "title"
+    assert DEFAULT_FIELD_CODES["AU"] == "author"
+    assert DEFAULT_FIELD_CODES["AB"] == "abstract"

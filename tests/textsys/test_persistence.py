@@ -1,0 +1,75 @@
+"""Unit tests for document-store persistence."""
+
+import pytest
+
+from repro.errors import TextSystemError
+from repro.textsys.persistence import load_store, save_store
+from repro.textsys.server import BooleanTextServer
+
+
+class TestRoundTrip:
+    def test_documents_survive(self, tiny_store, tmp_path):
+        path = tmp_path / "store.jsonl"
+        save_store(tiny_store, path)
+        loaded = load_store(path)
+        assert loaded.docids() == tiny_store.docids()
+        for docid in tiny_store.docids():
+            assert dict(loaded.get(docid).fields) == dict(
+                tiny_store.get(docid).fields
+            )
+
+    def test_configuration_survives(self, tiny_store, tmp_path):
+        path = tmp_path / "store.jsonl"
+        save_store(tiny_store, path)
+        loaded = load_store(path)
+        assert loaded.field_names == tiny_store.field_names
+        assert loaded.short_fields == tiny_store.short_fields
+
+    def test_search_equivalent_after_reload(self, tiny_store, tmp_path):
+        path = tmp_path / "store.jsonl"
+        save_store(tiny_store, path)
+        original = BooleanTextServer(tiny_store)
+        reloaded = BooleanTextServer(load_store(path))
+        for expression in ("TI='belief update'", "AU='gravano'", "TI='zzz'"):
+            assert (
+                original.search(expression).docids
+                == reloaded.search(expression).docids
+            )
+
+    def test_unicode_round_trip(self, tmp_path):
+        from repro.textsys.documents import DocumentStore
+
+        store = DocumentStore(["title"])
+        store.add_record("d1", title="naïve Bayes — résumé")
+        path = tmp_path / "u.jsonl"
+        save_store(store, path)
+        assert load_store(path).get("d1").field("title") == "naïve Bayes — résumé"
+
+
+class TestErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TextSystemError, match="empty"):
+            load_store(path)
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(TextSystemError, match="header"):
+            load_store(path)
+
+    def test_unknown_format(self, tmp_path):
+        path = tmp_path / "fmt.jsonl"
+        path.write_text('{"format": "something-else"}\n')
+        with pytest.raises(TextSystemError, match="format"):
+            load_store(path)
+
+    def test_bad_record(self, tmp_path):
+        path = tmp_path / "rec.jsonl"
+        path.write_text(
+            '{"format": "repro-docstore-v1", "fields": ["t"], "short_fields": []}\n'
+            "{broken\n"
+        )
+        with pytest.raises(TextSystemError, match="record"):
+            load_store(path)

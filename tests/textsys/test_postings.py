@@ -1,0 +1,101 @@
+"""Unit + property tests for posting lists and sorted-list merges."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.textsys.postings import (
+    Posting,
+    PostingList,
+    difference,
+    intersect,
+    positional_intersect,
+    union,
+)
+
+doc_sets = st.lists(st.integers(0, 50), unique=True, max_size=20).map(sorted)
+
+
+def plist(docs):
+    return PostingList.from_docs(docs)
+
+
+class TestPostingList:
+    def test_sorted_enforced(self):
+        with pytest.raises(ValueError):
+            PostingList([Posting(2), Posting(1)])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            PostingList([Posting(1), Posting(1)])
+
+    def test_docs_and_len(self):
+        lst = plist([1, 3, 5])
+        assert lst.docs() == [1, 3, 5]
+        assert len(lst) == 3
+
+    def test_equality(self):
+        assert plist([1, 2]) == plist([1, 2])
+        assert plist([1]) != plist([2])
+
+
+class TestSetOperations:
+    def test_intersect(self):
+        assert intersect(plist([1, 2, 3]), plist([2, 3, 4])).docs() == [2, 3]
+
+    def test_union(self):
+        assert union(plist([1, 3]), plist([2, 3])).docs() == [1, 2, 3]
+
+    def test_difference(self):
+        assert difference(plist([1, 2, 3]), plist([2])).docs() == [1, 3]
+
+    def test_empty_operands(self):
+        assert intersect(plist([]), plist([1])).docs() == []
+        assert union(plist([]), plist([1])).docs() == [1]
+        assert difference(plist([1]), plist([])).docs() == [1]
+
+
+class TestPositionalIntersect:
+    def test_phrase_gap(self):
+        left = PostingList([Posting(1, (0, 5))])
+        right = PostingList([Posting(1, (1, 9))])
+        out = positional_intersect(left, right, min_gap=1, max_gap=1)
+        assert out.docs() == [1]
+        assert out[0].positions == (1,)
+
+    def test_no_match_when_gap_wrong(self):
+        left = PostingList([Posting(1, (0,))])
+        right = PostingList([Posting(1, (3,))])
+        assert len(positional_intersect(left, right, 1, 1)) == 0
+
+    def test_proximity_either_order(self):
+        left = PostingList([Posting(1, (10,))])
+        right = PostingList([Posting(1, (7,))])
+        out = positional_intersect(left, right, min_gap=-5, max_gap=5)
+        assert out.docs() == [1]
+
+    def test_chaining_three_word_phrase(self):
+        # doc 1: "a b c" at positions 0 1 2
+        a = PostingList([Posting(1, (0,))])
+        b = PostingList([Posting(1, (1,))])
+        c = PostingList([Posting(1, (2,))])
+        ab = positional_intersect(a, b, 1, 1)
+        abc = positional_intersect(ab, c, 1, 1)
+        assert abc.docs() == [1]
+
+
+@given(doc_sets, doc_sets)
+def test_merges_match_python_sets(left, right):
+    """The linear-time merges agree with Python set semantics."""
+    l, r = plist(left), plist(right)
+    assert intersect(l, r).docs() == sorted(set(left) & set(right))
+    assert union(l, r).docs() == sorted(set(left) | set(right))
+    assert difference(l, r).docs() == sorted(set(left) - set(right))
+
+
+@given(doc_sets, doc_sets, doc_sets)
+def test_merge_algebra(a, b, c):
+    """Distributivity spot-check: A ∩ (B ∪ C) == (A ∩ B) ∪ (A ∩ C)."""
+    pa, pb, pc = plist(a), plist(b), plist(c)
+    left = intersect(pa, union(pb, pc))
+    right = union(intersect(pa, pb), intersect(pa, pc))
+    assert left.docs() == right.docs()

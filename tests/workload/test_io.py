@@ -1,0 +1,62 @@
+"""Tests for scenario persistence (save_scenario / load_scenario_data)."""
+
+import pytest
+
+from repro.core.joinmethods import JoinContext, TupleSubstitution
+from repro.errors import WorkloadError
+from repro.gateway.client import TextClient
+from repro.workload.io import load_scenario_data, save_scenario
+from repro.workload.scenarios import build_default_scenario
+
+
+@pytest.fixture(scope="module")
+def small_scenario():
+    return build_default_scenario(seed=3, document_count=400)
+
+
+class TestRoundTrip:
+    def test_tables_survive(self, small_scenario, tmp_path):
+        save_scenario(small_scenario, tmp_path)
+        catalog, server, parameters = load_scenario_data(tmp_path)
+        for name in ("student", "faculty", "project"):
+            original = small_scenario.catalog.table(name)
+            loaded = catalog.table(name)
+            assert len(loaded) == len(original)
+            assert [r.values for r in loaded.rows()] == [
+                r.values for r in original.rows()
+            ]
+
+    def test_corpus_and_limits_survive(self, small_scenario, tmp_path):
+        save_scenario(small_scenario, tmp_path)
+        catalog, server, parameters = load_scenario_data(tmp_path)
+        assert server.document_count == small_scenario.server.document_count
+        assert server.term_limit == small_scenario.server.term_limit
+
+    def test_parameters_survive(self, small_scenario, tmp_path):
+        save_scenario(small_scenario, tmp_path)
+        _, _, parameters = load_scenario_data(tmp_path)
+        assert parameters["q2"]["advisor"] == (
+            small_scenario.parameters["q2"]["advisor"]
+        )
+
+    def test_queries_run_identically_after_reload(self, small_scenario, tmp_path):
+        save_scenario(small_scenario, tmp_path)
+        catalog, server, _ = load_scenario_data(tmp_path)
+        query = small_scenario.q2()
+        original = TupleSubstitution().execute(query, small_scenario.context())
+        reloaded = TupleSubstitution().execute(
+            query, JoinContext(catalog, TextClient(server))
+        )
+        assert original.result_keys() == reloaded.result_keys()
+        assert original.cost.searches == reloaded.cost.searches
+
+
+class TestErrors:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(WorkloadError, match="manifest"):
+            load_scenario_data(tmp_path)
+
+    def test_unknown_format(self, tmp_path):
+        (tmp_path / "scenario.json").write_text('{"format": "other"}')
+        with pytest.raises(WorkloadError, match="format"):
+            load_scenario_data(tmp_path)

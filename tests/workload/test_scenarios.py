@@ -1,0 +1,94 @@
+"""Tests for the canonical scenario builders (planted parameters hold)."""
+
+import pytest
+
+from repro.core.joinmethods.base import joining_rows
+from repro.workload.scenarios import (
+    build_chain_scenario,
+    build_default_scenario,
+    build_prl_scenario,
+)
+
+
+class TestDefaultScenario:
+    def test_tables_exist(self, scenario):
+        for name in ("student", "faculty", "project"):
+            assert name in scenario.catalog
+
+    def test_population_sizes(self, scenario):
+        assert len(scenario.catalog.table("student")) == 330
+        assert len(scenario.catalog.table("faculty")) == 20
+        assert scenario.server.document_count == 4000
+
+    def test_q1_joining_relation(self, scenario):
+        context = scenario.context()
+        rows = joining_rows(context, scenario.q1())
+        assert len(rows) == scenario.parameters["q1"]["senior_ai_count"] == 80
+
+    def test_q2_garcia_students(self, scenario):
+        context = scenario.context()
+        rows = joining_rows(context, scenario.q2())
+        assert len(rows) == scenario.parameters["q2"]["garcia_students"] == 17
+
+    def test_q3_nsf_rows(self, scenario):
+        context = scenario.context()
+        rows = joining_rows(context, scenario.q3())
+        assert len(rows) == scenario.parameters["q3"]["nsf_rows"] == 109
+
+    def test_q4_ds_students(self, scenario):
+        context = scenario.context()
+        rows = joining_rows(context, scenario.q4())
+        assert len(rows) == scenario.parameters["q4"]["ds_students"] == 14
+
+    def test_q1_selection_document_count(self, scenario):
+        result = scenario.server.search("TI='belief update'")
+        assert len(result) == scenario.parameters["q1"]["selection_documents"] == 4
+
+    def test_q2_selection_document_count(self, scenario):
+        result = scenario.server.search("TI='text'")
+        assert len(result) == scenario.parameters["q2"]["selection_documents"] == 100
+
+    def test_q4_advisor_selectivity_is_one(self, scenario):
+        """Every DS advisor authors documents (s1 = 1, the Q4 regime)."""
+        context = scenario.context()
+        rows = joining_rows(context, scenario.q4())
+        advisors = {row["student.advisor"] for row in rows}
+        assert len(advisors) == 2
+        for advisor in advisors:
+            assert scenario.server.document_frequency("author", advisor) == 6
+
+    def test_deterministic(self):
+        a = build_default_scenario(seed=7)
+        b = build_default_scenario(seed=7)
+        assert a.parameters == b.parameters
+        assert a.server.document_count == b.server.document_count
+
+    def test_fresh_clients_have_fresh_ledgers(self, scenario):
+        c1 = scenario.client()
+        c1.search("TI='text'")
+        c2 = scenario.client()
+        assert c2.ledger.total == 0
+
+
+class TestPrlScenario:
+    def test_builds(self):
+        prl_scenario, query = build_prl_scenario(
+            enrollment_rows=200, course_rows=50, document_count=300
+        )
+        assert len(prl_scenario.catalog.table("enrollment")) == 200
+        assert query.relations == ("enrollment", "course")
+
+
+class TestChainScenario:
+    def test_builds_n_relations(self):
+        chain_scenario, query = build_chain_scenario(3)
+        assert query.relations == ("r1", "r2", "r3")
+        assert len(query.join_predicates) == 2
+        for relation in query.relations:
+            assert relation in chain_scenario.catalog
+
+    def test_invalid_count(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            build_chain_scenario(0)

@@ -1,0 +1,51 @@
+"""Unit tests for vocabulary and pool generators."""
+
+import random
+from collections import Counter
+
+from repro.textsys.analysis import tokenize
+from repro.workload.vocabulary import (
+    BACKGROUND_WORDS,
+    reserved_pool,
+    zipf_text,
+    zipf_word,
+)
+
+
+class TestReservedPool:
+    def test_unique(self):
+        pool = reserved_pool("x", 100, random.Random(1))
+        assert len(set(pool)) == 100
+
+    def test_single_token_values(self):
+        for value in reserved_pool("x", 30, random.Random(2)):
+            assert tokenize(value) == [value]
+
+    def test_disjoint_across_prefixes(self):
+        rng = random.Random(3)
+        a = set(reserved_pool("aa", 50, rng))
+        b = set(reserved_pool("bb", 50, rng))
+        assert not a & b
+
+    def test_disjoint_from_background(self):
+        pool = set(reserved_pool("x", 50, random.Random(4)))
+        assert not pool & set(BACKGROUND_WORDS)
+
+
+class TestZipf:
+    def test_words_come_from_vocabulary(self):
+        rng = random.Random(5)
+        for _ in range(100):
+            assert zipf_word(rng, BACKGROUND_WORDS) in BACKGROUND_WORDS
+
+    def test_distribution_is_skewed(self):
+        rng = random.Random(6)
+        counts = Counter(zipf_word(rng, BACKGROUND_WORDS) for _ in range(5000))
+        frequencies = sorted(counts.values(), reverse=True)
+        # The most common word is much more frequent than the median one.
+        assert frequencies[0] > 5 * frequencies[len(frequencies) // 2]
+
+    def test_zipf_text_length(self):
+        rng = random.Random(7)
+        text = zipf_text(rng, BACKGROUND_WORDS, 12)
+        assert len(text.split()) == 12
