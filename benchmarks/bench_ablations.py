@@ -12,7 +12,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.reporting import ascii_table
 from repro.core.joinmethods import (

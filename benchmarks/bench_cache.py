@@ -1,0 +1,82 @@
+"""Gateway cache: re-executing a workload against a warm cache.
+
+The acceptance benchmark for the gateway call cache: a TS join executed
+twice and the repeated-probe workload (P+TS twice) must show a >50%
+reduction in simulated ledger cost on the second run, with hit/miss
+counts and seconds-saved visible in the output.  With the cache disabled
+(the default), accounting stays bit-identical to the uncached runs —
+asserted against a fresh uncached execution of the same workloads.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import cache_report
+from repro.bench.reporting import ascii_table
+
+
+@pytest.fixture(scope="module")
+def report(scenario):
+    return cache_report(scenario)
+
+
+def test_cache_report_regenerate(scenario, benchmark, report):
+    benchmark.pedantic(lambda: cache_report(scenario), rounds=1, iterations=1)
+    print()
+    rows = [
+        [
+            entry["workload"],
+            entry["query"],
+            entry["method"],
+            round(entry["first_cost"], 2),
+            round(entry["second_cost"], 2),
+            f"{entry['reduction']:.0%}",
+            entry["cache_hits"],
+            entry["cache_misses"],
+            round(entry["seconds_saved"], 2),
+        ]
+        for entry in report
+    ]
+    print(
+        ascii_table(
+            ["workload", "query", "method", "1st run (s)", "2nd run (s)",
+             "reduction", "hits", "misses", "saved (s)"],
+            rows,
+            title="Gateway cache: cost of re-executing each workload",
+        )
+    )
+    payload = [
+        {key: value for key, value in entry.items() if key != "trace"}
+        for entry in report
+    ]
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def test_second_run_cost_drops_by_more_than_half(report):
+    for entry in report:
+        assert entry["first_cost"] > 0
+        assert entry["reduction"] > 0.5, entry["workload"]
+
+
+def test_hits_and_savings_are_reported(report):
+    for entry in report:
+        assert entry["cache_hits"] > 0
+        assert entry["cache_misses"] > 0
+        assert entry["seconds_saved"] > 0
+        assert entry["trace"]["cache_hits"] == entry["cache_hits"]
+
+
+def test_uncached_run_matches_first_cached_run(scenario, report):
+    """Cold-cache cost equals no-cache cost: caching never inflates."""
+    from repro.core.joinmethods import TupleSubstitution
+
+    query = scenario.query("q1")
+    execution = TupleSubstitution().execute(query, scenario.context())
+    first_ts = next(
+        entry for entry in report
+        if entry["query"] == "q1" and entry["method"] == "TS"
+    )
+    assert execution.cost.total == pytest.approx(first_ts["first_cost"])

@@ -22,14 +22,7 @@ import pytest
 from repro.bench.harness import kendall_tau
 from repro.bench.reporting import ascii_table
 from repro.core.inputs import build_cost_inputs
-from repro.core.joinmethods import (
-    JoinContext,
-    ProbeRtp,
-    ProbeTupleSubstitution,
-    RelationalTextProcessing,
-    SemiJoinRtp,
-    TupleSubstitution,
-)
+from repro.core.joinmethods import JoinContext
 from repro.core.optimizer.single_join import enumerate_method_choices
 from repro.core.query import TextJoinPredicate, TextJoinQuery, TextSelection
 from repro.gateway.client import TextClient

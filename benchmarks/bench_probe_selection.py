@@ -17,7 +17,6 @@ them:
 
 from __future__ import annotations
 
-import itertools
 import random
 
 import pytest

@@ -38,10 +38,8 @@ def test_table2_regenerate(scenario, benchmark, table2):
     benchmark.pedantic(
         lambda: table2_rows(scenario), rounds=1, iterations=1
     )
-    methods = ["TS", "RTP", "SJ", "SJ+RTP", "P(", "P("]
     print()
     rows = []
-    seen = []
     for query_id, runs in table2.items():
         for run in runs:
             rows.append(

@@ -8,12 +8,10 @@ phrase evaluation, and OR-batched semi-join searches, all on the default
 
 from __future__ import annotations
 
-import pytest
 
 from repro.textsys.parser import parse_search
-from repro.textsys.query import TermQuery, and_all, or_all
+from repro.textsys.query import TermQuery, or_all
 from repro.workload.corpus import SyntheticCorpus
-from repro.workload.vocabulary import reserved_pool
 import random
 
 

@@ -3,6 +3,7 @@ DESIGN.md's experiment index and EXPERIMENTS.md for results)."""
 
 from repro.bench.harness import (
     MethodRun,
+    cache_report,
     enumeration_report,
     fig1a_series,
     fig1b_series,
@@ -28,6 +29,7 @@ __all__ = [
     "fig2_grid",
     "multijoin_report",
     "enumeration_report",
+    "cache_report",
     "ascii_table",
     "format_value",
     "series_block",

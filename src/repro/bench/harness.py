@@ -10,8 +10,7 @@ system and read the metered ledger.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.costmodel import (
@@ -19,8 +18,6 @@ from repro.core.costmodel import (
     SelectionStatistics,
     cost_p_rtp,
     cost_p_ts,
-    cost_rtp,
-    cost_sj,
     cost_sj_rtp,
     cost_ts,
 )
@@ -41,13 +38,14 @@ from repro.core.optimizer import (
 )
 from repro.core.executor import execute_plan
 from repro.core.query import ResultShape, TextJoinQuery
+from repro.gateway.cache import GatewayCache
 from repro.gateway.costs import CostConstants
 from repro.gateway.statistics import PredicateStatistics
+from repro.gateway.tracing import CallTracer
 from repro.workload.scenarios import (
     DEFAULT_CONSTANTS,
     Scenario,
     build_chain_scenario,
-    build_prl_scenario,
 )
 
 __all__ = [
@@ -61,6 +59,7 @@ __all__ = [
     "fig2_grid",
     "multijoin_report",
     "enumeration_report",
+    "cache_report",
 ]
 
 
@@ -108,7 +107,11 @@ def make_inputs(
 # ----------------------------------------------------------------------
 @dataclass
 class MethodRun:
-    """One method executed on one query: measured and predicted cost."""
+    """One method executed on one query: measured and predicted cost.
+
+    The cache fields are zero unless the run used a gateway cache
+    (``run_methods(..., use_cache=True)``).
+    """
 
     query_id: str
     method: str
@@ -117,6 +120,9 @@ class MethodRun:
     searches: int
     results: int
     wall_seconds: float
+    cache_hits: int = 0
+    cache_misses: int = 0
+    seconds_saved: float = 0.0
 
 
 def methods_for(query: TextJoinQuery, scenario: Scenario) -> List[JoinMethod]:
@@ -135,9 +141,18 @@ def methods_for(query: TextJoinQuery, scenario: Scenario) -> List[JoinMethod]:
 
 
 def run_methods(
-    scenario: Scenario, query_id: str, with_predictions: bool = True
+    scenario: Scenario,
+    query_id: str,
+    with_predictions: bool = True,
+    use_cache: bool = False,
 ) -> List[MethodRun]:
-    """Execute every applicable method on one canonical query."""
+    """Execute every applicable method on one canonical query.
+
+    ``use_cache=True`` gives each method its own fresh
+    :class:`~repro.gateway.cache.GatewayCache` (so measurements stay
+    independent across methods) and reports per-run hit/miss counts and
+    simulated seconds saved.
+    """
     query = scenario.query(query_id)
     predicted: Dict[str, float] = {}
     if with_predictions:
@@ -148,7 +163,8 @@ def run_methods(
     runs: List[MethodRun] = []
     baseline = None
     for method in methods_for(query, scenario):
-        context = scenario.context()
+        cache = GatewayCache() if use_cache else None
+        context = scenario.context(cache=cache)
         execution = method.execute(query, context)
         keys = execution.result_keys()
         if baseline is None:
@@ -166,6 +182,9 @@ def run_methods(
                 searches=execution.cost.searches,
                 results=len(keys),
                 wall_seconds=execution.wall_seconds,
+                cache_hits=cache.hits if cache else 0,
+                cache_misses=cache.misses if cache else 0,
+                seconds_saved=execution.cost.seconds_saved,
             )
         )
     return runs
@@ -354,6 +373,66 @@ def fig2_grid(
             row.append("P+TS" if p_ts < ts else "TS")
         grid.append(row)
     return grid
+
+
+# ----------------------------------------------------------------------
+# Gateway cache (the PR's acceptance benchmark)
+# ----------------------------------------------------------------------
+def _cache_workloads(scenario: Scenario) -> List[Tuple[str, str, JoinMethod]]:
+    """The workloads the cache benchmark re-executes against one cache."""
+    return [
+        ("TS x2", "q1", TupleSubstitution()),
+        ("TS x2", "q3", TupleSubstitution()),
+        (
+            "repeated probes (P+TS x2)",
+            "q3",
+            ProbeTupleSubstitution((scenario.query("q3").join_columns[0],)),
+        ),
+    ]
+
+
+def cache_report(scenario: Scenario) -> List[Dict[str, Any]]:
+    """Re-execute each workload twice against one shared gateway cache.
+
+    Each entry reports the first-run and second-run metered costs, the
+    relative reduction, the cache hit/miss counts, and the simulated
+    seconds the cache saved — the numbers behind the acceptance
+    criterion that a warm cache cuts the second run's cost by >50%.
+    """
+    report: List[Dict[str, Any]] = []
+    for label, query_id, method in _cache_workloads(scenario):
+        cache = GatewayCache()
+        tracer = CallTracer(enabled=True)
+        context = scenario.context(cache=cache, tracer=tracer)
+        query = scenario.query(query_id)
+
+        first = method.execute(query, context)
+        second = method.execute(query, context)
+        if first.result_keys() != second.result_keys():
+            raise AssertionError(
+                f"cached re-run of {label} on {query_id} changed the results"
+            )
+        first_cost = first.cost.total
+        second_cost = second.cost.total
+        reduction = (
+            (first_cost - second_cost) / first_cost if first_cost else 0.0
+        )
+        report.append(
+            {
+                "workload": label,
+                "query": query_id,
+                "method": method.name,
+                "first_cost": first_cost,
+                "second_cost": second_cost,
+                "reduction": reduction,
+                "cache_hits": cache.hits,
+                "cache_misses": cache.misses,
+                "hit_rate": cache.hit_rate,
+                "seconds_saved": context.client.ledger.seconds_saved,
+                "trace": tracer.summary(),
+            }
+        )
+    return report
 
 
 # ----------------------------------------------------------------------

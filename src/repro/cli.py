@@ -7,8 +7,10 @@ Usage::
     python -m repro figures         # E4/E5/E6: the cost-formula sweeps
     python -m repro multijoin       # E8: PrL vs left-deep
     python -m repro enumeration     # E9: optimizer effort vs n
+    python -m repro trace           # gateway cache + foreign-call trace
     python -m repro all             # everything above
     python -m repro all --seed 11   # a different synthetic world
+    python -m repro table2 --trace  # append the foreign-call trace
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ import sys
 from typing import List, Optional
 
 from repro.bench import (
+    cache_report,
     enumeration_report,
     fig1a_series,
     fig1b_series,
@@ -27,6 +30,8 @@ from repro.bench import (
     table2_rows,
 )
 from repro.bench.reporting import ascii_table
+from repro.gateway.cache import GatewayCache
+from repro.gateway.tracing import CallTracer, format_trace
 from repro.workload import build_default_scenario
 from repro.workload.scenarios import build_prl_scenario
 
@@ -138,6 +143,43 @@ def _print_multijoin(scenario) -> None:
         print()
 
 
+def _print_trace(scenario) -> None:
+    report = cache_report(scenario)
+    rows = [
+        [
+            entry["workload"],
+            entry["query"],
+            entry["method"],
+            round(entry["first_cost"], 2),
+            round(entry["second_cost"], 2),
+            f"{entry['reduction']:.0%}",
+            entry["cache_hits"],
+            entry["cache_misses"],
+            round(entry["seconds_saved"], 2),
+        ]
+        for entry in report
+    ]
+    print(
+        ascii_table(
+            ["workload", "query", "method", "1st run (s)", "2nd run (s)",
+             "reduction", "hits", "misses", "saved (s)"],
+            rows,
+            title="Gateway cache: cost of re-executing each workload",
+        )
+    )
+    for entry in report:
+        trace = entry["trace"]
+        by_phase = ", ".join(
+            f"{phase}={info['calls']}"
+            for phase, info in trace["by_phase"].items()
+        )
+        print(
+            f"\n[{entry['workload']} / {entry['query']}] "
+            f"{trace['spans']} foreign calls, hit rate "
+            f"{trace['hit_rate']:.0%}, phases: {by_phase}"
+        )
+
+
 def _print_enumeration() -> None:
     rows = [
         [
@@ -166,16 +208,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=["table2", "ranking", "figures", "multijoin", "enumeration", "all"],
+        choices=[
+            "table2", "ranking", "figures", "multijoin", "enumeration",
+            "trace", "all",
+        ],
         help="which experiment(s) to run",
     )
     parser.add_argument(
         "--seed", type=int, default=7, help="workload seed (default 7)"
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record every foreign call and print the trace afterwards",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="share one gateway cache across the experiments' clients",
+    )
     arguments = parser.parse_args(argv)
 
-    needs_scenario = arguments.experiment in ("table2", "ranking", "multijoin", "all")
+    needs_scenario = arguments.experiment in (
+        "table2", "ranking", "multijoin", "trace", "all"
+    )
     scenario = build_default_scenario(seed=arguments.seed) if needs_scenario else None
+    tracer = None
+    if scenario is not None:
+        if arguments.trace:
+            tracer = CallTracer(enabled=True)
+            scenario.shared_tracer = tracer
+        if arguments.cache:
+            scenario.shared_cache = GatewayCache()
 
     ran_any = False
     if arguments.experiment in ("table2", "all"):
@@ -195,7 +259,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         ran_any = True
     if arguments.experiment in ("enumeration", "all"):
         _print_enumeration()
+        print()
         ran_any = True
+    if arguments.experiment in ("trace", "all"):
+        _print_trace(scenario)
+        ran_any = True
+    if tracer is not None and tracer.spans:
+        print()
+        print(format_trace(tracer))
     return 0 if ran_any else 1
 
 

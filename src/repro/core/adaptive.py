@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.core.costmodel import QueryCostInputs
 from repro.core.joinmethods import JoinContext, MethodExecution, ProbeRtp

@@ -23,7 +23,7 @@ as the real integration would have to.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.joinmethods.base import JoinContext, selection_node
@@ -153,16 +153,34 @@ class _PlanRunner:
         return sorted(needed)
 
     def _run_text_scan(self, plan: TextScanNode) -> MaterializedInput:
-        nodes = [selection_node(selection) for selection in plan.selections]
-        result = self.context.client.search(and_all(nodes))
-        # Every text predicate will be evaluated locally downstream, so
-        # every predicate field must be present.
-        needed = {p.field for p in self.query.text_predicates}
-        needed.update(self._downstream_fields())
-        rows = self._doc_rows(list(result), sorted(needed))
+        with self.context.client.trace_phase("scan"):
+            nodes = [selection_node(selection) for selection in plan.selections]
+            result = self.context.client.search(and_all(nodes))
+            # Every text predicate will be evaluated locally downstream, so
+            # every predicate field must be present.
+            needed = {p.field for p in self.query.text_predicates}
+            needed.update(self._downstream_fields())
+            rows = self._doc_rows(list(result), sorted(needed))
         return MaterializedInput(self.doc_schema, rows)
 
     def _run_probe(self, plan: ProbeNode) -> MaterializedInput:
+        """Reduce the child's rows with one metered probe per value group.
+
+        Edge semantics (pinned by ``tests/core/test_probe_edge_semantics``):
+
+        - a row whose probe key contains NULL is **silently dropped** —
+          NULLs never join under SQL semantics, so no probe is sent for
+          it and it cannot survive the reducer;
+        - a value group whose representative value is unindexable (the
+          text system raises :class:`SearchSyntaxError` because the value
+          tokenizes to no words) is likewise dropped without a probe: the
+          text system could not even express the search, and a tuple the
+          text system cannot search for can never join.
+
+        Both rules mirror :func:`~repro.core.joinmethods.base.
+        instantiate_predicates`, so probe reducers and full join methods
+        prune exactly the same tuples.
+        """
         child = self.run(plan.child)
         selections = [
             selection_node(selection) for selection in plan.selections
@@ -174,20 +192,24 @@ class _PlanRunner:
                 continue
             groups.setdefault(key, []).append(row)
         kept: List[Row] = []
-        for key, rows in groups.items():
-            representative = rows[0]
-            try:
-                instantiated = [
-                    data_term(
-                        predicate.field, str(representative[predicate.column])
-                    )
-                    for predicate in plan.probe_predicates
-                ]
-            except SearchSyntaxError:
-                # Unindexable value (no words): the group can never join.
-                continue
-            if self.context.client.probe(and_all(selections + instantiated)):
-                kept.extend(rows)
+        with self.context.client.trace_phase("probe"):
+            for key, rows in groups.items():
+                representative = rows[0]
+                try:
+                    instantiated = [
+                        data_term(
+                            predicate.field,
+                            str(representative[predicate.column]),
+                        )
+                        for predicate in plan.probe_predicates
+                    ]
+                except SearchSyntaxError:
+                    # Unindexable value (no words): the group can never join.
+                    continue
+                if self.context.client.probe(
+                    and_all(selections + instantiated)
+                ):
+                    kept.extend(rows)
         return MaterializedInput(child.output_schema, kept)
 
     def _text_match_expression(self, predicate: TextJoinPredicate) -> Expression:

@@ -8,7 +8,7 @@ downstream user reads before trusting a plan.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.bench.reporting import ascii_table
 from repro.core.costmodel import QueryCostInputs

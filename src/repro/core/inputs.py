@@ -20,12 +20,11 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Optional, Sequence
 
 from repro.core.costmodel import QueryCostInputs, SelectionStatistics
 from repro.core.joinmethods.base import JoinContext, joining_rows, selection_nodes
 from repro.core.query import TextJoinQuery
-from repro.gateway.costs import CostConstants
 from repro.gateway.sampling import (
     exact_predicate_statistics,
     sample_predicate_statistics,

@@ -40,7 +40,7 @@ from repro.textsys.analysis import tokenize
 from repro.textsys.documents import Document
 from repro.textsys.engine import matches_document
 from repro.textsys.parser import term_node
-from repro.textsys.query import SearchNode, and_all, data_term
+from repro.textsys.query import SearchNode, data_term
 
 __all__ = [
     "JoinContext",
@@ -53,6 +53,7 @@ __all__ = [
     "group_by_columns",
     "rtp_fields_available",
     "rtp_match",
+    "rtp_match_pairs",
     "finalize_execution",
 ]
 
@@ -228,6 +229,27 @@ def rtp_match(
         if not matches_document(document, data_term(predicate.field, text)):
             return False
     return True
+
+
+def rtp_match_pairs(
+    context: JoinContext,
+    documents: Sequence[Document],
+    rows: Sequence[Row],
+    predicates: Sequence[TextJoinPredicate],
+) -> List[JoinedPair]:
+    """The RTP phase shared by every fetch-then-match method.
+
+    Charges ``c_a`` for every document × row comparison, then string-
+    matches each pair against ``predicates``, returning the joined pairs
+    in document-major order (the order all RTP-family methods produce).
+    """
+    context.client.charge_rtp(len(documents) * len(rows))
+    pairs: List[JoinedPair] = []
+    for document in documents:
+        for row in rows:
+            if rtp_match(row, document, predicates):
+                pairs.append(JoinedPair(row, document))
+    return pairs
 
 
 def finalize_execution(

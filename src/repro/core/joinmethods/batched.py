@@ -15,7 +15,7 @@ with batching: probes are batched too.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional
 
 from repro.core.joinmethods.base import (
     JoinContext,
@@ -77,14 +77,15 @@ class BatchedTupleSubstitution(JoinMethod):
             searches.append(and_all(selections + instantiated))
 
         pairs: List[JoinedPair] = []
-        for start in range(0, len(searches), limit):
-            batch = searches[start : start + limit]
-            batch_groups = groups[start : start + limit]
-            results = context.client.search_batch(batch)
-            for group, result in zip(batch_groups, results):
-                for document in result:
-                    for row in group:
-                        pairs.append(JoinedPair(row, document))
+        with context.client.trace_phase("TS"):
+            for start in range(0, len(searches), limit):
+                batch = searches[start : start + limit]
+                batch_groups = groups[start : start + limit]
+                results = context.client.search_batch(batch)
+                for group, result in zip(batch_groups, results):
+                    for document in result:
+                        for row in group:
+                            pairs.append(JoinedPair(row, document))
 
         return finalize_execution(
             self.name, query, context, pairs, ledger_before, started_at

@@ -38,7 +38,7 @@ from repro.core.joinmethods.base import (
     instantiate_predicates,
     joining_rows,
     rtp_fields_available,
-    rtp_match,
+    rtp_match_pairs,
     selection_nodes,
 )
 from repro.core.query import JoinedPair, ResultShape, TextJoinQuery
@@ -173,21 +173,61 @@ class ProbeTupleSubstitution(JoinMethod):
                     probe_key_spread.get(spread_key, 0) + 1
                 )
 
-        for key, group in groups.items():
-            representative = group[0]
-            probe_key = tuple(representative[column] for column in probe_columns)
+        with context.client.trace_phase("probe"):
+            for key, group in groups.items():
+                representative = group[0]
+                probe_key = tuple(
+                    representative[column] for column in probe_columns
+                )
 
-            # A cached fail entry prunes the group outright.
-            if cache.get(probe_key) is False:
-                continue
+                # A cached fail entry prunes the group outright.
+                if cache.get(probe_key) is False:
+                    continue
 
-            instantiated = instantiate_predicates(
-                query.join_predicates, representative
-            )
-            if instantiated is None:
-                continue
+                instantiated = instantiate_predicates(
+                    query.join_predicates, representative
+                )
+                if instantiated is None:
+                    continue
 
-            if self.probe_first and cache.get(probe_key) is None:
+                if self.probe_first and cache.get(probe_key) is None:
+                    probe_nodes = instantiate_predicates(
+                        probe_predicates, representative
+                    )
+                    if probe_nodes is None:
+                        continue
+                    probe_success = context.client.probe(
+                        and_all(selections + probe_nodes)
+                    )
+                    cache.put(probe_key, probe_success)
+                    if not probe_success:
+                        continue
+
+                # Instantiate the full query, as in tuple substitution.
+                with context.client.trace_phase("TS"):
+                    result = context.client.search(
+                        and_all(selections + instantiated)
+                    )
+                if not result.is_empty:
+                    for document in result:
+                        for row in group:
+                            pairs.append(JoinedPair(row, document))
+                    # A successful full query marks the probe entry success
+                    # — no probe needs to be sent.
+                    cache.put(probe_key, True)
+                    continue
+
+                # The full query failed.  Send the probe only if no entry
+                # exists yet, so no duplicate probes are generated.
+                if cache.get(probe_key) is not None:
+                    continue
+                if (
+                    self.exploit_grouping
+                    and probe_key_spread.get(probe_key, 0) <= 1
+                ):
+                    # No other substitution shares this probe key: the
+                    # probe could prune nothing (the grouped refinement).
+                    continue
                 probe_nodes = instantiate_predicates(
                     probe_predicates, representative
                 )
@@ -197,36 +237,6 @@ class ProbeTupleSubstitution(JoinMethod):
                     and_all(selections + probe_nodes)
                 )
                 cache.put(probe_key, probe_success)
-                if not probe_success:
-                    continue
-
-            # Instantiate the full query, as in tuple substitution.
-            result = context.client.search(and_all(selections + instantiated))
-            if not result.is_empty:
-                for document in result:
-                    for row in group:
-                        pairs.append(JoinedPair(row, document))
-                # A successful full query marks the probe entry success —
-                # no probe needs to be sent.
-                cache.put(probe_key, True)
-                continue
-
-            # The full query failed.  Send the probe only if no entry
-            # exists yet, so no duplicate probes are generated.
-            if cache.get(probe_key) is not None:
-                continue
-            if (
-                self.exploit_grouping
-                and probe_key_spread.get(probe_key, 0) <= 1
-            ):
-                # No other substitution shares this probe key: the probe
-                # could prune nothing (Section 3.3's grouped refinement).
-                continue
-            probe_nodes = instantiate_predicates(probe_predicates, representative)
-            if probe_nodes is None:
-                continue
-            probe_success = context.client.probe(and_all(selections + probe_nodes))
-            cache.put(probe_key, probe_success)
 
         return finalize_execution(
             self.name, query, context, pairs, ledger_before, started_at
@@ -292,10 +302,13 @@ class ProbeRtp(JoinMethod):
         fetched = 0
 
         for key, group in group_by_columns(rows, probe_columns).items():
-            probe_nodes = instantiate_predicates(probe_predicates, group[0])
-            if probe_nodes is None:
-                continue
-            result = context.client.search(and_all(selections + probe_nodes))
+            with context.client.trace_phase("probe"):
+                probe_nodes = instantiate_predicates(probe_predicates, group[0])
+                if probe_nodes is None:
+                    continue
+                result = context.client.search(
+                    and_all(selections + probe_nodes)
+                )
             if result.is_empty:
                 continue
             fetched += len(result)
@@ -304,11 +317,12 @@ class ProbeRtp(JoinMethod):
                     f"{self.name}: fetched {fetched} documents, cap is "
                     f"{self.fetch_cap}; estimates were unreliable"
                 )
-            context.client.charge_rtp(len(result) * len(group))
-            for document in result:
-                for row in group:
-                    if rtp_match(row, document, remaining_predicates):
-                        pairs.append(JoinedPair(row, document))
+            with context.client.trace_phase("RTP"):
+                pairs.extend(
+                    rtp_match_pairs(
+                        context, list(result), group, remaining_predicates
+                    )
+                )
 
         return finalize_execution(
             self.name, query, context, pairs, ledger_before, started_at
@@ -366,12 +380,13 @@ class ProbeSemiJoin(JoinMethod):
         probe_predicates = query.predicates_on(probe_columns)
         kept: List[Row] = []
 
-        for key, group in group_by_columns(rows, probe_columns).items():
-            probe_nodes = instantiate_predicates(probe_predicates, group[0])
-            if probe_nodes is None:
-                continue
-            if context.client.probe(and_all(selections + probe_nodes)):
-                kept.extend(group)
+        with context.client.trace_phase("probe"):
+            for key, group in group_by_columns(rows, probe_columns).items():
+                probe_nodes = instantiate_predicates(probe_predicates, group[0])
+                if probe_nodes is None:
+                    continue
+                if context.client.probe(and_all(selections + probe_nodes)):
+                    kept.extend(group)
 
         execution = MethodExecution(method=self.name, shape=ResultShape.TUPLES)
         execution.tuples = kept

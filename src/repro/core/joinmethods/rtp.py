@@ -13,7 +13,6 @@ invocation cost is high (one invocation versus N for TS).
 from __future__ import annotations
 
 import time
-from typing import List
 
 from repro.core.joinmethods.base import (
     JoinContext,
@@ -22,10 +21,10 @@ from repro.core.joinmethods.base import (
     finalize_execution,
     joining_rows,
     rtp_fields_available,
-    rtp_match,
+    rtp_match_pairs,
     selection_nodes,
 )
-from repro.core.query import JoinedPair, TextJoinQuery
+from repro.core.query import TextJoinQuery
 from repro.textsys.query import and_all
 
 __all__ = ["RelationalTextProcessing"]
@@ -49,17 +48,15 @@ class RelationalTextProcessing(JoinMethod):
         started_at = time.perf_counter()
         ledger_before = context.client.ledger.snapshot()
 
-        rows = joining_rows(context, query)
-        result = context.client.search(and_all(selection_nodes(query)))
+        with context.client.trace_phase("RTP"):
+            rows = joining_rows(context, query)
+            result = context.client.search(and_all(selection_nodes(query)))
 
-        # SQL string matching of every fetched document against every
-        # joining tuple; each (document, tuple) comparison is charged c_a.
-        context.client.charge_rtp(len(result) * len(rows))
-        pairs: List[JoinedPair] = []
-        for document in result:
-            for row in rows:
-                if rtp_match(row, document, query.join_predicates):
-                    pairs.append(JoinedPair(row, document))
+            # SQL string matching of every fetched document against every
+            # joining tuple; each (document, tuple) comparison costs c_a.
+            pairs = rtp_match_pairs(
+                context, list(result), rows, query.join_predicates
+            )
 
         return finalize_execution(
             self.name, query, context, pairs, ledger_before, started_at

@@ -21,7 +21,7 @@ correspondence that OR-batching loses.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.joinmethods.base import (
     JoinContext,
@@ -32,10 +32,10 @@ from repro.core.joinmethods.base import (
     instantiate_predicates,
     joining_rows,
     rtp_fields_available,
-    rtp_match,
+    rtp_match_pairs,
     selection_nodes,
 )
-from repro.core.query import JoinedPair, ResultShape, TextJoinQuery
+from repro.core.query import ResultShape, TextJoinQuery
 from repro.errors import JoinMethodError
 from repro.relational.row import Row
 from repro.textsys.documents import Document
@@ -82,7 +82,7 @@ def batch_conjuncts(
 
 def _run_semijoin_searches(
     query: TextJoinQuery, context: JoinContext, rows: Sequence[Row]
-) -> Tuple[List[Document], Dict[str, Document]]:
+) -> List[Document]:
     """Send the OR-batched searches; return fetched documents (deduped)."""
     selections = selection_nodes(query)
     selection_terms = sum(node.term_count() for node in selections)
@@ -104,7 +104,7 @@ def _run_semijoin_searches(
             result = context.client.search(node)
             for document in result:
                 documents.setdefault(document.docid, document)
-    return list(documents.values()), documents
+    return list(documents.values())
 
 
 class SemiJoin(JoinMethod):
@@ -125,8 +125,9 @@ class SemiJoin(JoinMethod):
         started_at = time.perf_counter()
         ledger_before = context.client.ledger.snapshot()
 
-        rows = joining_rows(context, query)
-        documents, _ = _run_semijoin_searches(query, context, rows)
+        with context.client.trace_phase("SJ-batch"):
+            rows = joining_rows(context, query)
+            documents = _run_semijoin_searches(query, context, rows)
 
         execution = MethodExecution(method=self.name, shape=ResultShape.DOCIDS)
         execution.docids = [document.docid for document in documents]
@@ -154,16 +155,13 @@ class SemiJoinRtp(JoinMethod):
         started_at = time.perf_counter()
         ledger_before = context.client.ledger.snapshot()
 
-        rows = joining_rows(context, query)
-        documents, _ = _run_semijoin_searches(query, context, rows)
+        with context.client.trace_phase("SJ-batch"):
+            rows = joining_rows(context, query)
+            documents = _run_semijoin_searches(query, context, rows)
 
         # Relational text processing re-matches documents to tuples.
-        context.client.charge_rtp(len(documents) * len(rows))
-        pairs: List[JoinedPair] = []
-        for document in documents:
-            for row in rows:
-                if rtp_match(row, document, query.join_predicates):
-                    pairs.append(JoinedPair(row, document))
+        with context.client.trace_phase("RTP"):
+            pairs = rtp_match_pairs(context, documents, rows, query.join_predicates)
 
         return finalize_execution(
             self.name, query, context, pairs, ledger_before, started_at
@@ -209,36 +207,36 @@ class SingleColumnSemiJoinRtp(JoinMethod):
         started_at = time.perf_counter()
         ledger_before = context.client.ledger.snapshot()
 
-        rows = joining_rows(context, query)
-        column = self.column or query.join_columns[0]
-        column_predicate = query.predicate_on(column)
-        selections = selection_nodes(query)
-        selection_terms = sum(node.term_count() for node in selections)
+        with context.client.trace_phase("SJ-batch"):
+            rows = joining_rows(context, query)
+            column = self.column or query.join_columns[0]
+            column_predicate = query.predicate_on(column)
+            selections = selection_nodes(query)
+            selection_terms = sum(node.term_count() for node in selections)
 
-        conjuncts: List[SearchNode] = []
-        for key, group in group_by_columns(rows, (column,)).items():
-            instantiated = instantiate_predicates((column_predicate,), group[0])
-            if instantiated is None:
-                continue
-            conjuncts.append(instantiated[0])
+            conjuncts: List[SearchNode] = []
+            for key, group in group_by_columns(rows, (column,)).items():
+                instantiated = instantiate_predicates(
+                    (column_predicate,), group[0]
+                )
+                if instantiated is None:
+                    continue
+                conjuncts.append(instantiated[0])
 
-        documents: Dict[str, Document] = {}
-        if conjuncts:
-            for batch in batch_conjuncts(
-                conjuncts, selection_terms, context.client.term_limit
-            ):
-                node = and_all(selections + [or_all(batch)])
-                result = context.client.search(node)
-                for document in result:
-                    documents.setdefault(document.docid, document)
+            documents: Dict[str, Document] = {}
+            if conjuncts:
+                for batch in batch_conjuncts(
+                    conjuncts, selection_terms, context.client.term_limit
+                ):
+                    node = and_all(selections + [or_all(batch)])
+                    result = context.client.search(node)
+                    for document in result:
+                        documents.setdefault(document.docid, document)
 
-        fetched = list(documents.values())
-        context.client.charge_rtp(len(fetched) * len(rows))
-        pairs: List[JoinedPair] = []
-        for document in fetched:
-            for row in rows:
-                if rtp_match(row, document, query.join_predicates):
-                    pairs.append(JoinedPair(row, document))
+        with context.client.trace_phase("RTP"):
+            pairs = rtp_match_pairs(
+                context, list(documents.values()), rows, query.join_predicates
+            )
 
         return finalize_execution(
             self.name, query, context, pairs, ledger_before, started_at

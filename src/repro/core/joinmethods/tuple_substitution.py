@@ -60,19 +60,22 @@ class TupleSubstitution(JoinMethod):
         else:
             work = [[row] for row in rows]
 
-        for group in work:
-            representative = group[0]
-            instantiated = instantiate_predicates(
-                query.join_predicates, representative
-            )
-            if instantiated is None:
-                # NULL or unindexable join value: the tuple cannot join and
-                # the search cannot even be expressed; no invocation.
-                continue
-            result = context.client.search(and_all(selections + instantiated))
-            for document in result:
-                for row in group:
-                    pairs.append(JoinedPair(row, document))
+        with context.client.trace_phase("TS"):
+            for group in work:
+                representative = group[0]
+                instantiated = instantiate_predicates(
+                    query.join_predicates, representative
+                )
+                if instantiated is None:
+                    # NULL or unindexable join value: the tuple cannot join
+                    # and the search cannot even be expressed; no invocation.
+                    continue
+                result = context.client.search(
+                    and_all(selections + instantiated)
+                )
+                for document in result:
+                    for row in group:
+                        pairs.append(JoinedPair(row, document))
 
         return finalize_execution(
             self.name, query, context, pairs, ledger_before, started_at

@@ -24,8 +24,8 @@ the ``O(n^2 2^{n-1})`` complexity claim.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.core.optimizer.estimator import PlanEstimator
 from repro.core.optimizer.multiquery import TEXT_SOURCE, MultiJoinQuery

@@ -23,14 +23,13 @@ Cardinality rules:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence
 
 from repro.core.costmodel import (
     CostEstimate,
     QueryCostInputs,
     SelectionStatistics,
 )
-from repro.core.inputs import distinct_counts_for
 from repro.core.joinmethods.base import JoinContext, selection_node
 from repro.core.optimizer.multiquery import MultiJoinQuery, RelationalJoinPredicate
 from repro.core.optimizer.plan import (
@@ -42,12 +41,7 @@ from repro.core.optimizer.plan import (
     TextScanNode,
 )
 from repro.core.optimizer.single_join import MethodChoice, enumerate_method_choices
-from repro.core.query import (
-    ResultShape,
-    TextJoinPredicate,
-    TextJoinQuery,
-    TextSelection,
-)
+from repro.core.query import ResultShape, TextJoinPredicate, TextJoinQuery
 from repro.errors import OptimizationError, PlanError
 from repro.gateway.sampling import exact_predicate_statistics
 from repro.gateway.statistics import (
@@ -55,7 +49,7 @@ from repro.gateway.statistics import (
     TextStatisticsRegistry,
     joint_selectivity,
 )
-from repro.relational.expressions import Comparison, ColumnRef, Expression
+from repro.relational.expressions import Comparison, ColumnRef
 from repro.textsys.query import and_all
 
 __all__ = ["PlanEstimator", "INTERMEDIATE"]

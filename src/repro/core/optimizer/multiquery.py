@@ -18,8 +18,8 @@ whose referenced columns span exactly two relations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Sequence, Tuple
 
 from repro.core.query import TextJoinPredicate, TextSelection
 from repro.errors import PlanError

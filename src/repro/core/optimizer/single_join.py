@@ -15,7 +15,7 @@ the winner.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.core.costmodel import (
     CostEstimate,

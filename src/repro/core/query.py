@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import FrozenSet, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.errors import PlanError
 from repro.relational.expressions import Expression

@@ -27,8 +27,7 @@ a list naming only stored-relation columns asks for relation tuples.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.core.optimizer.multiquery import MultiJoinQuery, RelationalJoinPredicate
 from repro.core.query import (

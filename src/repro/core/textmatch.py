@@ -11,7 +11,7 @@ locally-evaluated predicates agree with server-evaluated ones.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, FrozenSet, List, Optional
+from typing import FrozenSet, Optional
 
 from repro.errors import TypeMismatchError
 from repro.relational.expressions import Expression

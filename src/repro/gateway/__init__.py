@@ -6,8 +6,16 @@ sampling-based predicate statistics, and the *g*-correlated joint
 selectivity/fanout models of Section 4.2.
 """
 
+from repro.gateway.cache import (
+    CacheStats,
+    GatewayCache,
+    LruCache,
+    RetrieveCache,
+    SearchCache,
+)
 from repro.gateway.client import SearchCall, TextClient
 from repro.gateway.costs import PAPER_CONSTANTS, CostConstants, CostLedger
+from repro.gateway.tracing import CallSpan, CallTracer, format_trace
 from repro.gateway.published import (
     FieldStatistics,
     field_statistics,
@@ -31,6 +39,14 @@ __all__ = [
     "CostConstants",
     "CostLedger",
     "PAPER_CONSTANTS",
+    "GatewayCache",
+    "SearchCache",
+    "RetrieveCache",
+    "LruCache",
+    "CacheStats",
+    "CallSpan",
+    "CallTracer",
+    "format_trace",
     "PredicateStatistics",
     "CorrelationModel",
     "TextStatisticsRegistry",

@@ -1,0 +1,227 @@
+"""Gateway-level result caching for repeated foreign calls.
+
+The cost model (Section 4.1) prices every search at
+``c_i + c_p * postings + c_s * |result|`` and every long-form retrieval
+at ``c_l`` — and the execution methods repeat themselves constantly: TS
+sends one search per distinct joining tuple, probing replays identical
+short-form probes across candidate plans, and the bench/adaptive layers
+re-run the same queries many times per run.  The gateway cache answers a
+repeated call locally: a hit charges *nothing* into the ledger, and the
+avoided cost is tracked separately as "simulated seconds saved".
+
+Two caches cover the two foreign operations:
+
+- :class:`SearchCache` — LRU over short-form result sets, keyed on the
+  *canonical* search expression (``SearchNode.to_expression()``), so
+  structurally equal searches built through different code paths share
+  one entry;
+- :class:`RetrieveCache` — LRU over long-form documents, keyed by docid.
+
+**Invalidation.**  Serving stale documents would be a correctness bug,
+so both caches validate against a monotone *data version*: the
+:class:`~repro.textsys.documents.DocumentStore` stamps every mutation
+into ``store.version`` and the server publishes it as ``data_version``.
+:meth:`GatewayCache.validate` clears everything the moment the observed
+version moves, so a stale cache can never serve wrong documents.
+
+Caching is **opt-in**: a :class:`~repro.gateway.client.TextClient`
+constructed without a cache behaves exactly as before (ledger totals
+bit-identical), which keeps the paper-calibrated measurements honest.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Generic, Optional, TypeVar
+
+from repro.errors import GatewayError
+from repro.textsys.documents import Document
+from repro.textsys.result import ResultSet
+
+__all__ = [
+    "CacheStats",
+    "LruCache",
+    "SearchCache",
+    "RetrieveCache",
+    "GatewayCache",
+    "DEFAULT_SEARCH_CAPACITY",
+    "DEFAULT_RETRIEVE_CAPACITY",
+]
+
+#: Default entry capacities.  Search results are small (short forms);
+#: long-form documents are the expensive objects, so that cache is
+#: smaller by default.
+DEFAULT_SEARCH_CAPACITY = 4096
+DEFAULT_RETRIEVE_CAPACITY = 1024
+
+V = TypeVar("V")
+
+
+@dataclass
+class CacheStats:
+    """Observable cache behavior (reset with the cache)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class LruCache(Generic[V]):
+    """A bounded mapping with least-recently-used eviction.
+
+    ``get`` refreshes recency; ``put`` evicts the oldest entry once the
+    capacity is exceeded.  Lookup statistics accumulate in ``stats``.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise GatewayError("cache capacity must be at least 1")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, V]" = OrderedDict()
+
+    def get(self, key: str) -> Optional[V]:
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def peek(self, key: str) -> Optional[V]:
+        """Like :meth:`get` but without touching recency or statistics."""
+        return self._entries.get(key)
+
+    def put(self, key: str, value: V) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({len(self)}/{self.capacity} entries, "
+            f"{self.stats.hits} hits / {self.stats.misses} misses)"
+        )
+
+
+class SearchCache(LruCache[ResultSet]):
+    """Short-form result sets keyed on the canonical search expression."""
+
+    def __init__(self, capacity: int = DEFAULT_SEARCH_CAPACITY) -> None:
+        super().__init__(capacity)
+
+
+class RetrieveCache(LruCache[Document]):
+    """Long-form documents keyed by docid."""
+
+    def __init__(self, capacity: int = DEFAULT_RETRIEVE_CAPACITY) -> None:
+        super().__init__(capacity)
+
+
+class GatewayCache:
+    """The client-facing pair of caches plus version-based invalidation.
+
+    The cache remembers the last data version it served under; when
+    :meth:`validate` observes a different version (the document store
+    mutated, or the client was pointed at another server), both caches
+    are dropped wholesale.  Versions are compared for *inequality*, not
+    order, so swapping between two servers also invalidates.
+    """
+
+    def __init__(
+        self,
+        search_capacity: int = DEFAULT_SEARCH_CAPACITY,
+        retrieve_capacity: int = DEFAULT_RETRIEVE_CAPACITY,
+    ) -> None:
+        self.search = SearchCache(search_capacity)
+        self.retrieve = RetrieveCache(retrieve_capacity)
+        self._seen_version: Optional[int] = None
+
+    def validate(self, data_version: int) -> bool:
+        """Drop everything if the backing data moved; True when still valid."""
+        if self._seen_version == data_version:
+            return True
+        stale = self._seen_version is not None
+        if stale:
+            self.search.clear()
+            self.retrieve.clear()
+            self.search.stats.invalidations += 1
+            self.retrieve.stats.invalidations += 1
+        self._seen_version = data_version
+        return not stale
+
+    def clear(self) -> None:
+        """Drop all entries and forget the observed version (stats kept)."""
+        self.search.clear()
+        self.retrieve.clear()
+        self._seen_version = None
+
+    @property
+    def hits(self) -> int:
+        return self.search.stats.hits + self.retrieve.stats.hits
+
+    @property
+    def misses(self) -> int:
+        return self.search.stats.misses + self.retrieve.stats.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-friendly statistics for reports and the bench harness."""
+        return {
+            "search": self.search.stats.as_dict(),
+            "retrieve": self.retrieve.stats.as_dict(),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "entries": len(self.search) + len(self.retrieve),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"GatewayCache(search={len(self.search)}, "
+            f"retrieve={len(self.retrieve)}, hit_rate={self.hit_rate:.0%})"
+        )

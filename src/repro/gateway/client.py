@@ -9,16 +9,33 @@ This is the reproduction's substitute for the paper's live network link
 between OpenODB and the CMU Mercury server: instead of paying real
 seconds per connection, the ledger accumulates *simulated* seconds using
 the constants the paper calibrated on that link.
+
+Two optional layers ride on the gateway:
+
+- a :class:`~repro.gateway.cache.GatewayCache`: repeated searches and
+  long-form retrievals are answered locally.  A hit charges *nothing*
+  into the ledger; the avoided cost accumulates in
+  ``ledger.seconds_saved``.  Entries are dropped wholesale whenever the
+  server's ``data_version`` moves, so staleness is impossible.  Without
+  a cache (the default) the client's accounting is bit-identical to the
+  uncached gateway.
+- a :class:`~repro.gateway.tracing.CallTracer`: every search, probe,
+  batch and retrieval becomes a span labelled with the current execution
+  phase (scan/probe/TS/SJ-batch/RTP).  The legacy ``call_log`` is now a
+  view over the trace.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.errors import GatewayError
+from repro.gateway.cache import GatewayCache
 from repro.gateway.costs import CostConstants, CostLedger
+from repro.gateway.tracing import CallTracer
 from repro.textsys.documents import Document
+from repro.textsys.parser import parse_search
 from repro.textsys.query import SearchNode
 from repro.textsys.result import ResultSet
 from repro.textsys.server import BooleanTextServer
@@ -44,11 +61,55 @@ class TextClient:
         server: BooleanTextServer,
         constants: Optional[CostConstants] = None,
         log_calls: bool = False,
+        cache: Optional[GatewayCache] = None,
+        tracer: Optional[CallTracer] = None,
     ) -> None:
         self.server = server
         self.ledger = CostLedger(constants=constants or CostConstants())
-        self.log_calls = log_calls
-        self.call_log: List[SearchCall] = []
+        self.cache = cache
+        self.tracer = tracer if tracer is not None else CallTracer(enabled=log_calls)
+
+    # ------------------------------------------------------------------
+    # tracing support
+    # ------------------------------------------------------------------
+    def trace_phase(self, label: str):
+        """Context manager: attribute foreign calls inside to ``label``."""
+        return self.tracer.phase(label)
+
+    @property
+    def call_log(self) -> List[SearchCall]:
+        """Legacy view: the search-shaped spans of the trace."""
+        return [
+            SearchCall(
+                expression=span.expression,
+                result_size=span.result_size,
+                postings_processed=span.postings_processed,
+                cost=span.cost,
+            )
+            for span in self.tracer.spans
+            if span.kind != "retrieve"
+        ]
+
+    def _wants_expression(self) -> bool:
+        return self.cache is not None or self.tracer.enabled
+
+    def _canonical(
+        self, query: Union[SearchNode, str]
+    ) -> Tuple[Union[SearchNode, str], Optional[str]]:
+        """The cache/trace key: the canonical rendering of the search.
+
+        Strings are parsed so that ``"TI='belief'"`` and the equivalent
+        :class:`~repro.textsys.query.TermQuery` share one cache entry.
+        Only computed when a cache or an enabled tracer needs it.
+        """
+        if not self._wants_expression():
+            return query, None
+        if isinstance(query, str):
+            query = parse_search(query)
+        return query, query.to_expression()
+
+    def _data_version(self) -> int:
+        return getattr(self.server, "data_version", 0)
 
     # ------------------------------------------------------------------
     # the two foreign operations
@@ -56,19 +117,44 @@ class TextClient:
     def search(self, query: Union[SearchNode, str]) -> ResultSet:
         """Send one search; returns the short-form result set.
 
-        Charges ``c_i + c_p * postings + c_s * |result|``.
+        Charges ``c_i + c_p * postings + c_s * |result|`` — unless the
+        gateway cache already holds the canonical expression, in which
+        case nothing is charged and the avoided cost is credited to
+        ``ledger.seconds_saved``.
         """
+        return self._metered_search(query, kind="search")
+
+    def _metered_search(self, query: Union[SearchNode, str], kind: str) -> ResultSet:
+        query, expression = self._canonical(query)
+        if self.cache is not None:
+            self.cache.validate(self._data_version())
+            cached = self.cache.search.get(expression)
+            if cached is not None:
+                saved = self.ledger.constants.search_cost(
+                    cached.postings_processed, len(cached)
+                )
+                self.ledger.credit_saved(saved)
+                self.tracer.record(
+                    kind,
+                    expression,
+                    result_size=len(cached),
+                    postings_processed=cached.postings_processed,
+                    cost=0.0,
+                    saved=saved,
+                    cache_hit=True,
+                )
+                return cached
         result = self.server.search(query)
         cost = self.ledger.charge_search(result.postings_processed, len(result))
-        if self.log_calls:
-            expression = query.to_expression() if isinstance(query, SearchNode) else query
-            self.call_log.append(
-                SearchCall(
-                    expression=expression,
-                    result_size=len(result),
-                    postings_processed=result.postings_processed,
-                    cost=cost,
-                )
+        if self.cache is not None:
+            self.cache.search.put(expression, result)
+        if self.tracer.enabled:
+            self.tracer.record(
+                kind,
+                expression,
+                result_size=len(result),
+                postings_processed=result.postings_processed,
+                cost=cost,
             )
         return result
 
@@ -78,7 +164,9 @@ class TextClient:
         Requires the server to support ``search_batch`` (see
         :class:`repro.textsys.batching.BatchingTextServer`).  Charges a
         single ``c_i`` for the whole batch plus the usual processing and
-        short-form transmission for every query's answer.
+        short-form transmission for every query's answer.  With a cache,
+        only the missing queries travel; if every query hits, the whole
+        invocation (including ``c_i``) is saved.
         """
         search_batch = getattr(self.server, "search_batch", None)
         if search_batch is None:
@@ -86,30 +174,114 @@ class TextClient:
                 "the text server does not support batched invocations; "
                 "wrap it in BatchingTextServer"
             )
-        results = search_batch(queries)
+        queries = list(queries)
+        if self.cache is None:
+            results = search_batch(queries)
+            postings = sum(result.postings_processed for result in results)
+            returned = sum(len(result) for result in results)
+            cost = self.ledger.charge_search(postings, returned)
+            self.tracer.record(
+                "batch",
+                f"<batch of {len(queries)}>",
+                result_size=returned,
+                postings_processed=postings,
+                cost=cost,
+            )
+            return results
+
+        self.cache.validate(self._data_version())
+        canonical = [self._canonical(query) for query in queries]
+        results: List[Optional[ResultSet]] = []
+        misses: List[Tuple[int, Union[SearchNode, str], str]] = []
+        for index, (query, expression) in enumerate(canonical):
+            cached = self.cache.search.get(expression)
+            results.append(cached)
+            if cached is None:
+                misses.append((index, query, expression))
+
+        constants = self.ledger.constants
+        cost = 0.0
+        if misses:
+            fetched = search_batch([query for _, query, _ in misses])
+            miss_postings = sum(result.postings_processed for result in fetched)
+            miss_returned = sum(len(result) for result in fetched)
+            cost = self.ledger.charge_search(miss_postings, miss_returned)
+            for (index, _, expression), result in zip(misses, fetched):
+                results[index] = result
+                self.cache.search.put(expression, result)
+
+        # What the batch would have cost without the cache, minus what
+        # was actually paid: the hits' processing/transmission shares,
+        # plus the invocation itself when nothing travelled at all.
+        miss_indexes = {index for index, _, _ in misses}
+        hit_results = [
+            result
+            for index, result in enumerate(results)
+            if index not in miss_indexes
+        ]
+        saved = sum(
+            constants.per_posting * result.postings_processed
+            + constants.short_form * len(result)
+            for result in hit_results
+        )
+        if not misses:
+            saved += constants.invocation
+        if saved:
+            self.ledger.credit_saved(saved)
+
         postings = sum(result.postings_processed for result in results)
         returned = sum(len(result) for result in results)
-        cost = self.ledger.charge_search(postings, returned)
-        if self.log_calls:
-            self.call_log.append(
-                SearchCall(
-                    expression=f"<batch of {len(queries)}>",
-                    result_size=returned,
-                    postings_processed=postings,
-                    cost=cost,
-                )
-            )
+        self.tracer.record(
+            "batch",
+            f"<batch of {len(queries)}>",
+            result_size=returned,
+            postings_processed=postings,
+            cost=cost,
+            saved=saved,
+            cache_hit=not misses,
+        )
         return results
 
     def retrieve(self, docid: str) -> Document:
-        """Fetch one long-form document; charges ``c_l``."""
+        """Fetch one long-form document; charges ``c_l`` (0 on a cache hit)."""
+        if self.cache is not None:
+            self.cache.validate(self._data_version())
+            cached = self.cache.retrieve.get(docid)
+            if cached is not None:
+                saved = self.ledger.constants.long_form
+                self.ledger.credit_saved(saved)
+                self.tracer.record(
+                    "retrieve",
+                    docid,
+                    result_size=1,
+                    postings_processed=0,
+                    cost=0.0,
+                    saved=saved,
+                    cache_hit=True,
+                )
+                return cached
         document = self.server.retrieve(docid)
-        self.ledger.charge_retrieve()
+        cost = self.ledger.charge_retrieve()
+        if self.cache is not None:
+            self.cache.retrieve.put(docid, document)
+        if self.tracer.enabled:
+            self.tracer.record(
+                "retrieve", docid, result_size=1, postings_processed=0, cost=cost
+            )
         return document
 
     def retrieve_many(self, docids: Iterable[str]) -> List[Document]:
-        """Fetch several long forms, one retrieval (and one ``c_l``) each."""
-        return [self.retrieve(docid) for docid in docids]
+        """Fetch several long forms, one retrieval (and one ``c_l``) each.
+
+        Duplicate docids are fetched — and charged — only once: the
+        returned list carries one :class:`Document` per *distinct*
+        requested docid, in first-occurrence order.
+        """
+        documents: Dict[str, Document] = {}
+        for docid in docids:
+            if docid not in documents:
+                documents[docid] = self.retrieve(docid)
+        return list(documents.values())
 
     # ------------------------------------------------------------------
     # probing and RTP support
@@ -122,7 +294,7 @@ class TextClient:
         any matching documents ... by requesting the short form
         response"), so it is charged exactly like :meth:`search`.
         """
-        return not self.search(query).is_empty
+        return not self._metered_search(query, kind="probe").is_empty
 
     def charge_rtp(self, document_count: int) -> float:
         """Account for SQL string matching over ``document_count`` documents."""
@@ -142,6 +314,6 @@ class TextClient:
         return self.server.term_limit
 
     def reset_accounting(self) -> None:
-        """Zero the ledger and the call log (server counters untouched)."""
+        """Zero the ledger and the trace (server counters and cache kept)."""
         self.ledger.reset()
-        self.call_log.clear()
+        self.tracer.clear()

@@ -71,6 +71,10 @@ class CostLedger:
     priced by the constants), so tests can verify the accounting
     invariant exactly: ``total == c_i*searches + c_p*postings +
     c_s*short + c_l*long + c_a*rtp``.
+
+    ``seconds_saved`` is a side channel, NOT part of ``total``: it
+    accumulates the simulated cost that gateway-cache hits avoided (a
+    hit charges nothing into the counts above).
     """
 
     constants: CostConstants = field(default_factory=CostConstants)
@@ -79,6 +83,7 @@ class CostLedger:
     short_documents: int = 0
     long_documents: int = 0
     rtp_documents: int = 0
+    seconds_saved: float = 0.0
 
     def charge_search(self, postings_processed: int, result_size: int) -> float:
         """Record one search invocation; returns its cost."""
@@ -99,6 +104,13 @@ class CostLedger:
         self.rtp_documents += document_count
         return self.constants.rtp_per_document * document_count
 
+    def credit_saved(self, seconds: float) -> float:
+        """Record simulated seconds a cache hit avoided (not in ``total``)."""
+        if seconds < 0:
+            raise GatewayError("saved seconds must be non-negative")
+        self.seconds_saved += seconds
+        return seconds
+
     @property
     def total(self) -> float:
         """Total simulated cost in seconds."""
@@ -117,6 +129,7 @@ class CostLedger:
         self.short_documents = 0
         self.long_documents = 0
         self.rtp_documents = 0
+        self.seconds_saved = 0.0
 
     def snapshot(self) -> "CostLedger":
         """An independent copy of the current state."""
@@ -127,6 +140,7 @@ class CostLedger:
             short_documents=self.short_documents,
             long_documents=self.long_documents,
             rtp_documents=self.rtp_documents,
+            seconds_saved=self.seconds_saved,
         )
 
     def diff(self, earlier: "CostLedger") -> "CostLedger":
@@ -138,11 +152,25 @@ class CostLedger:
             short_documents=self.short_documents - earlier.short_documents,
             long_documents=self.long_documents - earlier.long_documents,
             rtp_documents=self.rtp_documents - earlier.rtp_documents,
+            seconds_saved=self.seconds_saved - earlier.seconds_saved,
         )
+
+    def report(self) -> dict:
+        """JSON-friendly accounting report (counts, total, seconds saved)."""
+        return {
+            "searches": self.searches,
+            "postings_processed": self.postings_processed,
+            "short_documents": self.short_documents,
+            "long_documents": self.long_documents,
+            "rtp_documents": self.rtp_documents,
+            "total": self.total,
+            "seconds_saved": self.seconds_saved,
+        }
 
     def __repr__(self) -> str:
         return (
             f"CostLedger(total={self.total:.3f}s, searches={self.searches}, "
             f"postings={self.postings_processed}, short={self.short_documents}, "
-            f"long={self.long_documents}, rtp={self.rtp_documents})"
+            f"long={self.long_documents}, rtp={self.rtp_documents}, "
+            f"saved={self.seconds_saved:.3f}s)"
         )

@@ -22,7 +22,7 @@ full independence (joint = product).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import StatisticsError
 

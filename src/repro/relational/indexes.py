@@ -12,7 +12,6 @@ from __future__ import annotations
 import bisect
 from typing import Any, Dict, Iterator, List, Tuple
 
-from repro.errors import SchemaError
 from repro.relational.row import Row
 from repro.relational.table import Table
 

@@ -12,7 +12,7 @@ benchmark harness can report relational work alongside text-system cost.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import PlanError
 from repro.relational.expressions import Expression

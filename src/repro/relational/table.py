@@ -7,12 +7,12 @@ on insert, so every downstream operator can trust the data.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Iterable, Iterator, List, Mapping, Sequence, Tuple
 
 from repro.errors import SchemaError
 from repro.relational.row import Row
 from repro.relational.schema import Column, Schema
-from repro.relational.types import DataType, coerce_value
+from repro.relational.types import coerce_value
 
 __all__ = ["Table"]
 

@@ -60,6 +60,10 @@ class BatchingTextServer:
         return self.server.document_count
 
     @property
+    def data_version(self) -> int:
+        return self.server.data_version
+
+    @property
     def term_limit(self) -> int:
         return self.server.term_limit
 

@@ -12,7 +12,7 @@ separately by docid.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from repro.errors import SchemaError, UnknownDocumentError, UnknownFieldError
 
@@ -45,6 +45,10 @@ class DocumentStore:
 
     ``field_names`` declares the searchable fields; ``short_fields`` is
     the subset returned in short-form result sets.
+
+    ``version`` is a monotone counter stamped on every mutation; caches
+    keyed on search results compare it to decide whether their entries
+    may still be served (see :mod:`repro.gateway.cache`).
     """
 
     def __init__(
@@ -67,6 +71,8 @@ class DocumentStore:
                     f"short fields {sorted(unknown)} are not collection fields"
                 )
         self._documents: Dict[str, Document] = {}
+        #: Monotone mutation counter (the cache-invalidation stamp).
+        self.version = 0
 
     def add(self, document: Document) -> None:
         """Add a document; docids must be unique."""
@@ -78,6 +84,7 @@ class DocumentStore:
         if document.docid in self._documents:
             raise SchemaError(f"duplicate docid {document.docid!r}")
         self._documents[document.docid] = document
+        self.version += 1
 
     def add_record(self, docid: str, **fields: str) -> Document:
         """Convenience: build and add a document from keyword fields."""

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import reduce
-from typing import List, Tuple
+from typing import Tuple
 
 from repro.errors import TextSystemError
 from repro.textsys.analysis import tokenize

@@ -15,11 +15,11 @@ from __future__ import annotations
 
 import bisect
 from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import UnknownFieldError
 from repro.textsys.analysis import tokenize_with_positions
-from repro.textsys.documents import Document, DocumentStore
+from repro.textsys.documents import DocumentStore
 from repro.textsys.postings import Posting, PostingList
 
 __all__ = ["InvertedIndex"]
@@ -48,6 +48,8 @@ class InvertedIndex:
         self.page_capacity = page_capacity
         #: Cumulative disk pages read by list retrievals.
         self.pages_read = 0
+        #: The store version this index reflects (cache-invalidation stamp).
+        self.version = 0
         self._doc_ordinals: Dict[str, int] = {}
         self._ordinal_docids: List[str] = []
         # field -> term -> sorted list of Posting
@@ -86,6 +88,21 @@ class InvertedIndex:
                 ]
                 self._lists[field][term] = PostingList(postings)
             self._vocabulary[field] = sorted(self._lists[field])
+        self.version = self.store.version
+
+    def rebuild(self) -> None:
+        """Re-index the store after mutations (stamps the new version).
+
+        The index is built eagerly at construction; a store that gains
+        documents afterwards must be re-indexed for searches to see them.
+        ``version`` follows the store's mutation counter so downstream
+        caches (see :mod:`repro.gateway.cache`) drop stale entries.
+        """
+        self._doc_ordinals.clear()
+        self._ordinal_docids.clear()
+        self._lists = {field: {} for field in self.store.field_names}
+        self._vocabulary = {field: [] for field in self.store.field_names}
+        self._build()
 
     # ------------------------------------------------------------------
     # docid mapping

@@ -15,10 +15,10 @@ Field codes are resolved through a caller-supplied mapping (e.g.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional
 
 from repro.errors import SearchSyntaxError
-from repro.textsys.analysis import normalize_term, tokenize
+from repro.textsys.analysis import normalize_term
 from repro.textsys.query import (
     AndQuery,
     NotQuery,

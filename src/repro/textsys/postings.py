@@ -15,7 +15,7 @@ assigned by the index, so comparisons are cheap and ordering is total.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Tuple
 
 __all__ = [
     "Posting",

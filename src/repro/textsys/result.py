@@ -9,7 +9,7 @@ retrieve the entire document using its docid" (the *long form*).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, Tuple
 
 from repro.textsys.documents import Document
 

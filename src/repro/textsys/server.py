@@ -17,7 +17,7 @@ invocations, postings processed, and documents transmitted in each form.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Union
+from typing import Iterable, List, Union
 
 from repro.errors import SearchLimitExceeded, TextSystemError
 from repro.textsys.documents import Document, DocumentStore
@@ -79,6 +79,16 @@ class BooleanTextServer:
     def document_count(self) -> int:
         """``D``: the size of the collection (published meta information)."""
         return self.index.document_count
+
+    @property
+    def data_version(self) -> int:
+        """Monotone counter of collection mutations (cache invalidation).
+
+        Follows the document store's mutation stamp: any client-side
+        cache of search/retrieve results must be dropped when this
+        moves, because the same expression may now match differently.
+        """
+        return self.store.version
 
     def search(self, query: Union[SearchNode, str]) -> ResultSet:
         """Run one Boolean search; returns the short-form result set.

@@ -23,7 +23,7 @@ from __future__ import annotations
 import math
 from collections import Counter, defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import TextSystemError, UnknownFieldError
 from repro.textsys.analysis import tokenize

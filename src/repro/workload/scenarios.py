@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.joinmethods.base import JoinContext
 from repro.errors import WorkloadError
@@ -41,8 +41,10 @@ from repro.core.query import (
     TextJoinQuery,
     TextSelection,
 )
+from repro.gateway.cache import GatewayCache
 from repro.gateway.client import TextClient
 from repro.gateway.costs import CostConstants
+from repro.gateway.tracing import CallTracer
 from repro.relational.catalog import Catalog
 from repro.relational.expressions import And, ColumnRef, Comparison, Literal
 from repro.textsys.server import BooleanTextServer
@@ -85,14 +87,38 @@ class Scenario:
     constants: CostConstants = field(default_factory=lambda: DEFAULT_CONSTANTS)
     #: Planted workload parameters, keyed by query id ("q1".."q5").
     parameters: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: When set, every fresh client shares this gateway cache (opt-in:
+    #: None keeps the paper-calibrated accounting bit-identical).
+    shared_cache: Optional[GatewayCache] = None
+    #: When set, every fresh client appends spans to this tracer.
+    shared_tracer: Optional[CallTracer] = None
 
-    def client(self, log_calls: bool = False) -> TextClient:
+    def client(
+        self,
+        log_calls: bool = False,
+        cache: Optional[GatewayCache] = None,
+        tracer: Optional[CallTracer] = None,
+    ) -> TextClient:
         """A fresh metered client (fresh cost ledger) on the shared server."""
-        return TextClient(self.server, constants=self.constants, log_calls=log_calls)
+        return TextClient(
+            self.server,
+            constants=self.constants,
+            log_calls=log_calls,
+            cache=cache if cache is not None else self.shared_cache,
+            tracer=tracer if tracer is not None else self.shared_tracer,
+        )
 
-    def context(self, log_calls: bool = False) -> JoinContext:
+    def context(
+        self,
+        log_calls: bool = False,
+        cache: Optional[GatewayCache] = None,
+        tracer: Optional[CallTracer] = None,
+    ) -> JoinContext:
         """A fresh execution context (new client, shared catalog)."""
-        return JoinContext(self.catalog, self.client(log_calls=log_calls))
+        return JoinContext(
+            self.catalog,
+            self.client(log_calls=log_calls, cache=cache, tracer=tracer),
+        )
 
     # ------------------------------------------------------------------
     # the canonical queries
@@ -287,7 +313,7 @@ def build_default_scenario(
     # corpus plantings
     # ------------------------------------------------------------------
     # Background: a quarter of all student names appear as authors.
-    background_student = corpus.plant_pool(
+    corpus.plant_pool(
         student_names, "author", selectivity=0.25, conditional_fanout=2
     )
 

@@ -14,11 +14,8 @@ side agree about which join values exist.
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
-from repro.errors import WorkloadError
 from repro.relational.catalog import Catalog
 from repro.relational.schema import Schema
 from repro.relational.table import Table

@@ -10,7 +10,7 @@ from repro.core.joinmethods.base import JoinContext
 from repro.core.optimizer.enumerate import optimize_multijoin
 from repro.core.optimizer.estimator import PlanEstimator
 from repro.core.optimizer.multiquery import MultiJoinQuery, RelationalJoinPredicate
-from repro.core.query import TextJoinPredicate, TextSelection
+from repro.core.query import TextJoinPredicate
 from repro.gateway.client import TextClient
 from repro.relational.catalog import Catalog
 from repro.relational.expressions import ColumnRef, Comparison

@@ -1,6 +1,5 @@
 """Unit tests for the Section 4.3 cost formulas (hand-computed checks)."""
 
-import math
 
 import pytest
 

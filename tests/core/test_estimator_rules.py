@@ -9,7 +9,7 @@ from repro.core.optimizer.plan import JoinNode, ProbeNode, ScanNode, TextJoinNod
 from repro.core.query import TextJoinPredicate
 from repro.gateway.client import TextClient
 from repro.relational.catalog import Catalog
-from repro.relational.expressions import And, ColumnRef, Comparison, Literal
+from repro.relational.expressions import ColumnRef, Comparison
 from repro.relational.schema import Schema
 from repro.relational.types import DataType
 from repro.textsys.documents import DocumentStore

@@ -8,10 +8,8 @@
    the per-tuple searches, under arbitrary (even tiny) term limits.
 """
 
-import itertools
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.joinmethods import (

@@ -15,7 +15,6 @@ from repro.core.optimizer.plan import (
     JoinNode,
     ProbeNode,
     ScanNode,
-    TextJoinNode,
     TextScanNode,
 )
 from repro.core.query import TextJoinPredicate, TextSelection

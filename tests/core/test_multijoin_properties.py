@@ -10,7 +10,6 @@ On randomly generated multi-relation worlds:
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.executor import execute_plan

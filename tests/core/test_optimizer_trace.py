@@ -10,7 +10,6 @@ import pytest
 
 from repro.core.optimizer.enumerate import optimize_multijoin
 from repro.core.optimizer.estimator import PlanEstimator
-from repro.workload.scenarios import build_default_scenario
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,101 @@
+"""Pins the probe reducer's edge semantics (see ``_run_probe``'s docstring).
+
+Two kinds of tuple never survive a probe node, and neither costs a probe:
+
+- a row whose probe key contains NULL (NULLs never join under SQL
+  semantics), and
+- a value group whose representative value is unindexable — the text
+  system raises :class:`SearchSyntaxError` because the value tokenizes
+  to no words, so the probe cannot even be expressed.
+
+These rules mirror ``instantiate_predicates`` so probe reducers and
+full join methods prune exactly the same tuples.
+"""
+
+import pytest
+
+from repro.core.executor import execute_plan
+from repro.core.joinmethods.base import JoinContext
+from repro.core.optimizer.multiquery import MultiJoinQuery
+from repro.core.optimizer.plan import ProbeNode, ScanNode
+from repro.core.query import TextJoinPredicate
+from repro.gateway.client import TextClient
+from repro.relational.catalog import Catalog
+from repro.relational.schema import Schema
+from repro.relational.types import DataType
+from repro.textsys.documents import DocumentStore
+from repro.textsys.server import BooleanTextServer
+
+
+@pytest.fixture
+def probe_world():
+    """Three papers; an author table with NULL and unindexable names."""
+    catalog = Catalog()
+    author = catalog.create_table(
+        "author", Schema.of(("name", DataType.VARCHAR))
+    )
+    author.insert_many(
+        [
+            ["garcia"],      # joins d1
+            [None],          # NULL probe key: dropped without a probe
+            ["..."],         # tokenizes to no words: dropped without a probe
+            ["nomatch"],     # probed, but matches nothing
+        ]
+    )
+    store = DocumentStore(["title", "author"], short_fields=["title", "author"])
+    store.add_record("d1", title="join queries", author="garcia molina")
+    store.add_record("d2", title="text sources", author="gravano")
+    store.add_record("d3", title="cost models", author="chaudhuri")
+    server = BooleanTextServer(store)
+
+    query = MultiJoinQuery(
+        relations=("author",),
+        text_predicates=(TextJoinPredicate("author.name", "author"),),
+        text_source="m",
+    )
+    plan = ProbeNode(
+        child=ScanNode("author"),
+        probe_columns=("author.name",),
+        probe_predicates=(TextJoinPredicate("author.name", "author"),),
+    )
+    return catalog, server, query, plan
+
+
+def _run(catalog, server, query, plan):
+    context = JoinContext(catalog, TextClient(server))
+    execution = execute_plan(plan, query, context)
+    return execution, context.client
+
+
+def test_null_probe_keys_are_silently_dropped(probe_world):
+    execution, client = _run(*probe_world)
+    names = [row["author.name"] for row in execution.rows]
+    assert None not in names
+
+
+def test_unindexable_groups_are_dropped_without_a_probe(probe_world):
+    execution, client = _run(*probe_world)
+    names = [row["author.name"] for row in execution.rows]
+    assert "..." not in names
+    # Only the two indexable non-NULL groups cost a probe each:
+    # "garcia" (kept) and "nomatch" (probed empty).
+    assert client.ledger.searches == 2
+
+
+def test_only_matching_groups_survive(probe_world):
+    execution, _ = _run(*probe_world)
+    assert [row["author.name"] for row in execution.rows] == ["garcia"]
+
+
+def test_dropped_rows_cost_nothing(probe_world):
+    """A table of ONLY null/unindexable keys sends zero foreign calls."""
+    _, server, query, plan = probe_world
+    catalog = Catalog()
+    author = catalog.create_table(
+        "author", Schema.of(("name", DataType.VARCHAR))
+    )
+    author.insert_many([[None], ["..."], ["?!"]])
+    execution, client = _run(catalog, server, query, plan)
+    assert execution.rows == []
+    assert client.ledger.searches == 0
+    assert client.ledger.total == 0.0

@@ -1,12 +1,11 @@
 """Unit + property tests for probe-column selection (Section 5)."""
 
-import itertools
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.bench.harness import make_inputs
-from repro.core.costmodel import cost_p_rtp, cost_p_ts
+from repro.core.costmodel import cost_p_ts
 from repro.core.probe_select import candidate_probe_sets, optimal_probe_columns
 from repro.core.query import TextJoinPredicate, TextJoinQuery
 from repro.errors import OptimizationError

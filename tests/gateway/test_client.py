@@ -32,6 +32,26 @@ class TestSearchAccounting:
         assert len(documents) == 2
         assert client.ledger.long_documents == 2
 
+    def test_retrieve_many_charges_duplicates_once(self, tiny_server):
+        """Regression: duplicated docids used to pay ``c_l`` per element.
+
+        ``["d1", "d1", "d2"]`` names two distinct documents, so the
+        ledger must charge exactly two long-form retrievals.
+        """
+        client = TextClient(tiny_server)
+        documents = client.retrieve_many(["d1", "d1", "d2"])
+        assert [document.docid for document in documents] == ["d1", "d2"]
+        assert client.ledger.long_documents == 2
+        assert client.ledger.total == pytest.approx(
+            2 * client.ledger.constants.long_form
+        )
+
+    def test_retrieve_many_preserves_first_occurrence_order(self, tiny_server):
+        client = TextClient(tiny_server)
+        documents = client.retrieve_many(["d3", "d1", "d3", "d2", "d1"])
+        assert [document.docid for document in documents] == ["d3", "d1", "d2"]
+        assert client.ledger.long_documents == 3
+
     def test_charge_rtp(self, tiny_server):
         client = TextClient(tiny_server)
         cost = client.charge_rtp(10)

@@ -7,7 +7,7 @@ Table-2 winners, and exercise the optimizer → executor path for Q5.
 
 import pytest
 
-from repro.bench import run_methods, table2_rows
+from repro.bench import table2_rows
 from repro.core import (
     PlanEstimator,
     build_cost_inputs,

@@ -6,7 +6,6 @@ content each example promises.
 """
 
 import importlib.util
-import sys
 from pathlib import Path
 
 import pytest

@@ -11,14 +11,12 @@ from repro.relational.operators import (
     Filter,
     HashJoin,
     Limit,
-    MaterializedInput,
     NestedLoopJoin,
     Project,
     Sort,
     TableScan,
     materialize,
 )
-from repro.relational.row import Row
 from repro.relational.schema import Schema
 from repro.relational.table import Table
 from repro.relational.types import DataType

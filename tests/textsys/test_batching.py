@@ -5,7 +5,6 @@ import pytest
 from repro.errors import SearchLimitExceeded, TextSystemError
 from repro.gateway.client import TextClient
 from repro.textsys.batching import BatchingTextServer
-from repro.textsys.query import TermQuery
 
 
 @pytest.fixture
