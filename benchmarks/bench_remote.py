@@ -1,0 +1,141 @@
+"""Remote transport: concurrent batch dispatch vs serial, retry overhead.
+
+The acceptance benchmark for the fault-injecting network layer:
+
+- on the ``wan`` profile (tens of milliseconds per frame, reliable) a
+  pooled ``search_batch`` must beat serial dispatch by at least 2x wall
+  clock at pool size 8, while returning exactly the in-process answers;
+- on the ``flaky`` profile every query must still come back identical,
+  with the wasted simulated seconds visible in ``seconds_retried`` and
+  never in the priced ledger ``total``.
+
+Wall-clock seconds (real sleeps) and simulated seconds (what the
+accounting charges) are reported side by side.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.reporting import ascii_table, counter_delta_rows
+from repro.gateway.client import TextClient
+from repro.remote import RemoteTextTransport
+from repro.textsys.query import TermQuery
+
+POOL_SIZE = 8
+QUERY_COUNT = 32
+
+
+@pytest.fixture(scope="module")
+def queries(scenario):
+    """32 single-term title searches drawn from the corpus vocabulary."""
+    vocabulary = scenario.server.index.vocabulary("title")
+    step = max(1, len(vocabulary) // QUERY_COUNT)
+    terms = vocabulary[::step][:QUERY_COUNT]
+    assert len(terms) == QUERY_COUNT
+    return [TermQuery("title", term) for term in terms]
+
+
+@pytest.fixture(scope="module")
+def expected(scenario, queries):
+    return [scenario.server.search(query).docids for query in queries]
+
+
+def timed_batch(transport, queries):
+    started = time.perf_counter()
+    results = transport.search_batch(queries)
+    return time.perf_counter() - started, results
+
+
+def test_concurrent_dispatch_beats_serial(scenario, queries, expected, benchmark):
+    # Full wan latency (20ms real per frame): the pool overlaps the wire
+    # time while server-side evaluation stays serialized, so the measured
+    # speedup is the honest Amdahl number, not a sleep artefact.
+    serial = RemoteTextTransport(
+        scenario.server, profile="wan", seed=7, pool_size=1
+    )
+    pooled = RemoteTextTransport(
+        scenario.server, profile="wan", seed=7, pool_size=POOL_SIZE
+    )
+    try:
+        serial_seconds, serial_results = timed_batch(serial, queries)
+        pooled_seconds, pooled_results = benchmark.pedantic(
+            lambda: timed_batch(pooled, queries), rounds=1, iterations=1
+        )
+    finally:
+        pooled.close()
+
+    assert [r.docids for r in serial_results] == expected
+    assert [r.docids for r in pooled_results] == expected
+
+    speedup = serial_seconds / pooled_seconds
+    print()
+    print(
+        ascii_table(
+            ["dispatch", "wall (s)", "simulated wire (s)", "frames"],
+            [
+                [
+                    "serial",
+                    round(serial_seconds, 3),
+                    round(serial.channel.stats.simulated_seconds, 3),
+                    serial.stats.frames_sent,
+                ],
+                [
+                    f"pool={POOL_SIZE}",
+                    round(pooled_seconds, 3),
+                    round(pooled.channel.stats.simulated_seconds, 3),
+                    pooled.stats.frames_sent,
+                ],
+            ],
+            title=f"search_batch of {QUERY_COUNT} queries on 'wan' "
+            f"(speedup {speedup:.1f}x)",
+        )
+    )
+    assert speedup >= 2.0, f"pool={POOL_SIZE} only {speedup:.2f}x over serial"
+    # Both dispatches paid the same simulated wire time: concurrency
+    # compresses wall clock, never the accounted cost.
+    assert pooled.channel.stats.simulated_seconds == pytest.approx(
+        serial.channel.stats.simulated_seconds, rel=0.25
+    )
+
+
+def test_flaky_profile_identical_answers_with_visible_waste(
+    scenario, queries, expected
+):
+    transport = RemoteTextTransport(
+        scenario.server, profile="flaky", seed=7, time_scale=0.0
+    )
+    client = TextClient(transport)
+    before = scenario.server.counters.snapshot()
+
+    results = [client.search(query) for query in queries]
+    assert [r.docids for r in results] == expected
+
+    ledger = client.ledger
+    assert ledger.searches == QUERY_COUNT
+    assert ledger.seconds_retried > 0.0
+    # Priced total covers answered work only (the Section 4.1 identity).
+    constants = ledger.constants
+    assert ledger.total == pytest.approx(
+        constants.invocation * ledger.searches
+        + constants.per_posting * ledger.postings_processed
+        + constants.short_form * ledger.short_documents
+    )
+
+    print()
+    print(
+        ascii_table(
+            ["server counter", "delta"],
+            counter_delta_rows(before, scenario.server.counters),
+            title="Server work during the flaky run",
+        )
+    )
+    report = transport.report()
+    print(
+        f"retries={report['retries']}  failures={report['failures']}  "
+        f"seconds_retried={report['seconds_retried']:.2f}  "
+        f"breaker={report['breaker_state']}"
+    )
+    assert report["failures"] == 0  # retries absorbed every fault

@@ -1,0 +1,139 @@
+"""The digital library reached over an unreliable network.
+
+The paper's OpenODB ↔ Mercury integration talked to a *remote* text
+server; this example puts the reproduction in the same situation with
+the fault-injecting transport:
+
+1. a flaky link — frames error and vanish, retries absorb every fault,
+   and the join answers stay identical to the in-process run while the
+   wasted seconds land in the ledger's ``seconds_retried`` channel;
+2. a degraded link — failures trip the circuit breaker, calls are
+   refused locally while it is open, and a half-open probe closes it
+   once the source recovers;
+3. a wan link — concurrent batch dispatch over a connection pool
+   overlaps frame latency for a multi-x wall-clock speedup.
+
+Run:  python examples/remote_library.py
+"""
+
+import time
+
+from repro.core.joinmethods import TupleSubstitution
+from repro.errors import CircuitOpenError, TransportError
+from repro.remote import CircuitBreaker, RemoteTextTransport, RetryPolicy
+from repro.textsys.query import TermQuery
+from repro.workload import build_default_scenario
+
+
+def run_q1(scenario):
+    context = scenario.context()
+    execution = TupleSubstitution().execute(scenario.q1(long_form=False), context)
+    return execution.result_keys(), context.client.ledger
+
+
+def main() -> None:
+    print("Digital library over a remote text source")
+    print("=========================================")
+    scenario = build_default_scenario(seed=7, document_count=1500)
+    local_server = scenario.server
+    print(f"  text server: {local_server}")
+    print()
+
+    # ------------------------------------------------------------------
+    print("[1] flaky link: retries keep the join answers identical")
+    local_keys, local_ledger = run_q1(scenario)
+
+    flaky = RemoteTextTransport(
+        local_server,
+        profile="flaky",
+        seed=7,
+        time_scale=0.0,  # account the network, don't sleep it
+        retry=RetryPolicy(max_attempts=8),
+    )
+    scenario.server = flaky
+    remote_keys, remote_ledger = run_q1(scenario)
+    scenario.server = local_server
+
+    report = flaky.report()
+    status = "identical results" if remote_keys == local_keys else "MISMATCH"
+    print(f"  {len(remote_keys)} joined pairs over the wire: {status}")
+    print(
+        f"  attempts={report['attempts']}  retries={report['retries']}  "
+        f"failures={report['failures']}"
+    )
+    print(
+        f"  priced ledger total: {remote_ledger.total:.2f}s "
+        f"(in-process: {local_ledger.total:.2f}s)"
+    )
+    print(
+        f"  simulated seconds wasted on retries: "
+        f"{remote_ledger.seconds_retried:.2f}s (outside the total)"
+    )
+    print()
+
+    # ------------------------------------------------------------------
+    print("[2] degraded link: the circuit breaker refuses doomed calls")
+    degraded = RemoteTextTransport(
+        local_server,
+        profile="degraded",
+        seed=3,
+        time_scale=0.0,
+        retry=RetryPolicy(max_attempts=1),  # surface every failure
+        breaker=CircuitBreaker(failure_threshold=3, recovery_time=0.05),
+    )
+    probe = TermQuery("title", "belief")
+    outcomes = {"ok": 0, "failed": 0, "refused": 0}
+    for _ in range(40):
+        try:
+            degraded.search(probe)
+            outcomes["ok"] += 1
+        except CircuitOpenError:
+            outcomes["refused"] += 1
+        except TransportError:
+            outcomes["failed"] += 1
+    print(
+        f"  40 calls: {outcomes['ok']} answered, {outcomes['failed']} failed, "
+        f"{outcomes['refused']} refused with the circuit open"
+    )
+    probes = 0
+    while degraded.breaker.state != "closed" and probes < 10:
+        time.sleep(0.06)  # let the recovery window pass, then probe
+        probes += 1
+        try:
+            degraded.search(probe)
+        except (CircuitOpenError, TransportError):
+            continue
+    print(
+        f"  recovery: breaker {degraded.breaker.state} after "
+        f"{probes} half-open probe window(s)"
+    )
+    transitions = degraded.report()["breaker_transitions"]
+    print(f"  breaker transitions: {', '.join(transitions)}")
+    print()
+
+    # ------------------------------------------------------------------
+    print("[3] wan link: concurrent batch dispatch overlaps frame latency")
+    vocabulary = local_server.index.vocabulary("title")
+    step = max(1, len(vocabulary) // 32)
+    queries = [TermQuery("title", term) for term in vocabulary[::step][:32]]
+
+    timings = {}
+    for label, pool_size in (("serial", 1), ("pool=8", 8)):
+        transport = RemoteTextTransport(
+            local_server, profile="wan", seed=7, pool_size=pool_size
+        )
+        started = time.perf_counter()
+        results = transport.search_batch(queries)
+        timings[label] = time.perf_counter() - started
+        transport.close()
+        print(
+            f"  {label:<7} {len(queries)} searches in {timings[label]:.3f}s wall "
+            f"({transport.stats.frames_sent} frames, "
+            f"{transport.channel.stats.simulated_seconds:.2f}s simulated wire)"
+        )
+        assert len(results) == len(queries)
+    print(f"  concurrent speedup: {timings['serial'] / timings['pool=8']:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

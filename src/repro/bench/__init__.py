@@ -15,7 +15,12 @@ from repro.bench.harness import (
     run_methods,
     table2_rows,
 )
-from repro.bench.reporting import ascii_table, format_value, series_block
+from repro.bench.reporting import (
+    ascii_table,
+    counter_delta_rows,
+    format_value,
+    series_block,
+)
 
 __all__ = [
     "MethodRun",
@@ -31,6 +36,7 @@ __all__ = [
     "enumeration_report",
     "cache_report",
     "ascii_table",
+    "counter_delta_rows",
     "format_value",
     "series_block",
 ]

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Any, List, Optional, Sequence
 
-__all__ = ["ascii_table", "format_value", "series_block"]
+__all__ = ["ascii_table", "format_value", "series_block", "counter_delta_rows"]
 
 
 def format_value(value: Any) -> str:
@@ -49,6 +49,18 @@ def ascii_table(
             "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
         )
     return "\n".join(lines)
+
+
+def counter_delta_rows(before, after) -> List[List[Any]]:
+    """Table rows for the server work done between two counter snapshots.
+
+    ``before`` and ``after`` are :class:`~repro.textsys.server.
+    ServerCounters` (or anything supporting ``-`` and ``as_dict()``);
+    the rows are ``[counter, delta]`` pairs ready for
+    :func:`ascii_table`, so benchmark reports never hand-copy the four
+    counter fields.
+    """
+    return [[name, value] for name, value in (after - before).as_dict().items()]
 
 
 def series_block(

@@ -11,6 +11,7 @@ Usage::
     python -m repro all             # everything above
     python -m repro all --seed 11   # a different synthetic world
     python -m repro table2 --trace  # append the foreign-call trace
+    python -m repro table2 --remote flaky   # run over a faulty transport
 """
 
 from __future__ import annotations
@@ -32,6 +33,12 @@ from repro.bench import (
 from repro.bench.reporting import ascii_table
 from repro.gateway.cache import GatewayCache
 from repro.gateway.tracing import CallTracer, format_trace
+from repro.remote import (
+    FAULT_PROFILES,
+    CircuitBreaker,
+    RemoteTextTransport,
+    RetryPolicy,
+)
 from repro.workload import build_default_scenario
 from repro.workload.scenarios import build_prl_scenario
 
@@ -180,6 +187,25 @@ def _print_trace(scenario) -> None:
         )
 
 
+def _print_transport_report(transport) -> None:
+    report = transport.report()
+    channel = report.pop("channel")
+    transitions = report.pop("breaker_transitions")
+    rows = [[key, value] for key, value in report.items()]
+    rows += [[f"channel.{key}", value] for key, value in channel.items()]
+    print(
+        ascii_table(
+            ["transport metric", "value"],
+            rows,
+            title=f"Remote transport ({transport.profile.name} profile)",
+        )
+    )
+    if transitions:
+        print("breaker transitions: " + ", ".join(
+            f"{old}->{new}" for _, old, new in transitions
+        ))
+
+
 def _print_enumeration() -> None:
     rows = [
         [
@@ -227,6 +253,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="share one gateway cache across the experiments' clients",
     )
+    parser.add_argument(
+        "--remote",
+        choices=sorted(FAULT_PROFILES),
+        help="reach the text server over a simulated network with this "
+        "fault profile (retries and circuit breaking included)",
+    )
+    parser.add_argument(
+        "--pool",
+        type=int,
+        default=1,
+        help="connection-pool size for batched remote calls (default 1)",
+    )
     arguments = parser.parse_args(argv)
 
     needs_scenario = arguments.experiment in (
@@ -234,12 +272,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     scenario = build_default_scenario(seed=arguments.seed) if needs_scenario else None
     tracer = None
+    transport = None
     if scenario is not None:
         if arguments.trace:
             tracer = CallTracer(enabled=True)
             scenario.shared_tracer = tracer
         if arguments.cache:
             scenario.shared_cache = GatewayCache()
+        if arguments.remote:
+            # time_scale=0: pay the simulated network in the accounting
+            # report, not in the user's wall clock.  The experiments make
+            # thousands of foreign calls, so retry persistently enough
+            # that even the degraded profile finishes the run.
+            transport = RemoteTextTransport(
+                scenario.server,
+                profile=arguments.remote,
+                seed=arguments.seed,
+                pool_size=arguments.pool,
+                time_scale=0.0,
+                retry=RetryPolicy(max_attempts=12),
+                breaker=CircuitBreaker(failure_threshold=64, recovery_time=0.05),
+            )
+            scenario.server = transport
 
     ran_any = False
     if arguments.experiment in ("table2", "all"):
@@ -267,6 +321,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if tracer is not None and tracer.spans:
         print()
         print(format_trace(tracer))
+    if transport is not None:
+        print()
+        _print_transport_report(transport)
     return 0 if ran_any else 1
 
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.query import (
     JoinedPair,
@@ -46,6 +46,7 @@ __all__ = [
     "JoinContext",
     "MethodExecution",
     "JoinMethod",
+    "effective_term_limit",
     "joining_rows",
     "selection_node",
     "selection_nodes",
@@ -67,11 +68,20 @@ class JoinContext:
     output of earlier joins (the relation named by a
     :class:`~repro.core.query.TextJoinQuery` is looked up here first,
     then in the catalog).
+
+    ``degradation`` is an optional :class:`~repro.remote.resilience.
+    DegradationPolicy` (duck-typed to keep the core free of remote
+    imports): when the text source is reached over an unreliable
+    transport, the SJ-family methods shrink their batch capacity through
+    it and the executor may fall back from SJ to TS (see
+    :func:`effective_term_limit`).  ``None`` — the default — changes
+    nothing.
     """
 
     catalog: Catalog
     client: TextClient
     materialized: Dict[str, List[Row]] = field(default_factory=dict)
+    degradation: Optional[Any] = None
 
 
 @dataclass
@@ -136,6 +146,20 @@ class JoinMethod:
 # ----------------------------------------------------------------------
 # shared building blocks
 # ----------------------------------------------------------------------
+def effective_term_limit(context: JoinContext) -> int:
+    """The per-search term budget available right now.
+
+    Normally the server's published ``M``; while the context's
+    degradation policy reports the source degraded, a smaller budget, so
+    OR-batched semi-join searches lose less work when a frame fails and
+    must be retried.
+    """
+    limit = context.client.term_limit
+    if context.degradation is not None:
+        limit = context.degradation.effective_term_limit(limit)
+    return limit
+
+
 def joining_rows(context: JoinContext, query: TextJoinQuery) -> List[Row]:
     """The joining relation: base table or materialized intermediate,
     after the query's local selection."""

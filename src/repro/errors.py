@@ -19,6 +19,11 @@ __all__ = [
     "UnknownFieldError",
     "UnknownDocumentError",
     "GatewayError",
+    "TransportError",
+    "TransportTimeout",
+    "TransportDropped",
+    "CircuitOpenError",
+    "RemoteProtocolError",
     "StatisticsError",
     "PlanError",
     "OptimizationError",
@@ -69,6 +74,26 @@ class UnknownDocumentError(TextSystemError):
 
 class GatewayError(ReproError):
     """The loose-integration gateway was misused (e.g. bad cost constants)."""
+
+
+class TransportError(GatewayError):
+    """A remote text-source call failed at the network layer."""
+
+
+class TransportTimeout(TransportError):
+    """A remote call exceeded its deadline waiting for a response."""
+
+
+class TransportDropped(TransportError):
+    """A frame was dropped on the simulated wire (no response at all)."""
+
+
+class CircuitOpenError(TransportError):
+    """The circuit breaker is open: calls are refused without the wire."""
+
+
+class RemoteProtocolError(TransportError):
+    """A wire frame could not be encoded or decoded."""
 
 
 class StatisticsError(ReproError):

@@ -87,8 +87,34 @@ class TextClient:
                 cost=span.cost,
             )
             for span in self.tracer.spans
-            if span.kind != "retrieve"
+            if span.kind in ("search", "probe", "batch")
         ]
+
+    def _settle_transport(self) -> None:
+        """Drain a remote transport's retry waste and events, if any.
+
+        When the server is a :class:`~repro.remote.transport.
+        RemoteTextTransport`, failed attempts' wire time and backoff
+        pauses accumulate there; this moves them into the ledger's
+        ``seconds_retried`` side channel and records each retry/breaker
+        event as a traced span.  With an in-process server this is a
+        single attribute lookup — accounting stays bit-identical.
+        """
+        drain = getattr(self.server, "drain_accounting", None)
+        if drain is None:
+            return
+        wasted, events = drain()
+        if wasted:
+            self.ledger.charge_retry_waste(wasted)
+        if self.tracer.enabled:
+            for event in events:
+                self.tracer.record(
+                    event.kind,
+                    event.detail,
+                    result_size=0,
+                    postings_processed=0,
+                    cost=0.0,
+                )
 
     def _wants_expression(self) -> bool:
         return self.cache is not None or self.tracer.enabled
@@ -144,7 +170,10 @@ class TextClient:
                     cache_hit=True,
                 )
                 return cached
-        result = self.server.search(query)
+        try:
+            result = self.server.search(query)
+        finally:
+            self._settle_transport()
         cost = self.ledger.charge_search(result.postings_processed, len(result))
         if self.cache is not None:
             self.cache.search.put(expression, result)
@@ -176,7 +205,10 @@ class TextClient:
             )
         queries = list(queries)
         if self.cache is None:
-            results = search_batch(queries)
+            try:
+                results = search_batch(queries)
+            finally:
+                self._settle_transport()
             postings = sum(result.postings_processed for result in results)
             returned = sum(len(result) for result in results)
             cost = self.ledger.charge_search(postings, returned)
@@ -202,7 +234,10 @@ class TextClient:
         constants = self.ledger.constants
         cost = 0.0
         if misses:
-            fetched = search_batch([query for _, query, _ in misses])
+            try:
+                fetched = search_batch([query for _, query, _ in misses])
+            finally:
+                self._settle_transport()
             miss_postings = sum(result.postings_processed for result in fetched)
             miss_returned = sum(len(result) for result in fetched)
             cost = self.ledger.charge_search(miss_postings, miss_returned)
@@ -260,7 +295,10 @@ class TextClient:
                     cache_hit=True,
                 )
                 return cached
-        document = self.server.retrieve(docid)
+        try:
+            document = self.server.retrieve(docid)
+        finally:
+            self._settle_transport()
         cost = self.ledger.charge_retrieve()
         if self.cache is not None:
             self.cache.retrieve.put(docid, document)
@@ -313,7 +351,17 @@ class TextClient:
         """``M``, the per-search basic-term limit."""
         return self.server.term_limit
 
-    def reset_accounting(self) -> None:
-        """Zero the ledger and the trace (server counters and cache kept)."""
+    def reset_accounting(self, include_cache_stats: bool = False) -> None:
+        """Zero the ledger and the trace (server counters and cache kept).
+
+        By default the gateway cache's hit/miss statistics survive a
+        reset — they describe the cache, not this client's accounting
+        period, and several harnesses read them across resets.  Pass
+        ``include_cache_stats=True`` to zero them too (the cached
+        *entries* are always kept; only the counters reset).
+        """
         self.ledger.reset()
         self.tracer.clear()
+        if include_cache_stats and self.cache is not None:
+            self.cache.search.stats.reset()
+            self.cache.retrieve.stats.reset()

@@ -72,9 +72,14 @@ class CostLedger:
     invariant exactly: ``total == c_i*searches + c_p*postings +
     c_s*short + c_l*long + c_a*rtp``.
 
-    ``seconds_saved`` is a side channel, NOT part of ``total``: it
-    accumulates the simulated cost that gateway-cache hits avoided (a
-    hit charges nothing into the counts above).
+    ``seconds_saved`` and ``seconds_retried`` are side channels, NOT
+    part of ``total``: the former accumulates the simulated cost that
+    gateway-cache hits avoided (a hit charges nothing into the counts
+    above); the latter accumulates simulated seconds *wasted* by the
+    remote transport on failed attempts and backoff pauses (see
+    :mod:`repro.remote.transport`).  Keeping waste out of ``total``
+    preserves the Section 4.1 identity exactly while still making retry
+    overhead observable next to the ``c_i``-dominated link costs.
     """
 
     constants: CostConstants = field(default_factory=CostConstants)
@@ -84,6 +89,7 @@ class CostLedger:
     long_documents: int = 0
     rtp_documents: int = 0
     seconds_saved: float = 0.0
+    seconds_retried: float = 0.0
 
     def charge_search(self, postings_processed: int, result_size: int) -> float:
         """Record one search invocation; returns its cost."""
@@ -111,6 +117,17 @@ class CostLedger:
         self.seconds_saved += seconds
         return seconds
 
+    def charge_retry_waste(self, seconds: float) -> float:
+        """Record simulated seconds wasted on failed remote attempts.
+
+        A side channel like ``seconds_saved``: visible in reports but
+        never part of ``total``, which prices only *answered* work.
+        """
+        if seconds < 0:
+            raise GatewayError("retried seconds must be non-negative")
+        self.seconds_retried += seconds
+        return seconds
+
     @property
     def total(self) -> float:
         """Total simulated cost in seconds."""
@@ -130,6 +147,7 @@ class CostLedger:
         self.long_documents = 0
         self.rtp_documents = 0
         self.seconds_saved = 0.0
+        self.seconds_retried = 0.0
 
     def snapshot(self) -> "CostLedger":
         """An independent copy of the current state."""
@@ -141,6 +159,7 @@ class CostLedger:
             long_documents=self.long_documents,
             rtp_documents=self.rtp_documents,
             seconds_saved=self.seconds_saved,
+            seconds_retried=self.seconds_retried,
         )
 
     def diff(self, earlier: "CostLedger") -> "CostLedger":
@@ -153,6 +172,7 @@ class CostLedger:
             long_documents=self.long_documents - earlier.long_documents,
             rtp_documents=self.rtp_documents - earlier.rtp_documents,
             seconds_saved=self.seconds_saved - earlier.seconds_saved,
+            seconds_retried=self.seconds_retried - earlier.seconds_retried,
         )
 
     def report(self) -> dict:
@@ -165,6 +185,7 @@ class CostLedger:
             "rtp_documents": self.rtp_documents,
             "total": self.total,
             "seconds_saved": self.seconds_saved,
+            "seconds_retried": self.seconds_retried,
         }
 
     def __repr__(self) -> str:

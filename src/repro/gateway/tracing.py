@@ -22,8 +22,10 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 __all__ = ["CallSpan", "CallTracer", "format_trace"]
 
-#: Span kinds, in the order the gateway can emit them.
-SPAN_KINDS = ("search", "probe", "batch", "retrieve")
+#: Span kinds, in the order the gateway can emit them.  The last two are
+#: transport happenings (no foreign result): a retry/give-up on the
+#: remote link and a circuit-breaker state transition.
+SPAN_KINDS = ("search", "probe", "batch", "retrieve", "retry", "breaker")
 
 #: The phase label spans get outside any declared phase.
 UNPHASED = "-"

@@ -1,0 +1,190 @@
+"""Wire-protocol JSON codecs for the remote text-source transport.
+
+The in-process reproduction passes :class:`~repro.textsys.query.SearchNode`
+trees, :class:`~repro.textsys.result.ResultSet` objects and
+:class:`~repro.textsys.documents.Document` objects between the gateway
+and the text server as Python objects.  A real loose integration (OpenODB
+to the CMU Mercury server) serialises every call onto a network link; the
+codecs here define that wire format:
+
+- every search-expression node type round-trips through a tagged JSON
+  object (``node_to_wire`` / ``node_from_wire``), preserving
+  ``to_expression()`` exactly;
+- documents and result sets round-trip losslessly
+  (``document_to_wire`` / ``result_to_wire`` and their inverses);
+- request/response **frames** wrap one operation each: a frame id for
+  correlation, an op name, and the op's payload.  Batch operations carry
+  many queries in one frame so that partial failures can be retried per
+  frame (see :mod:`repro.remote.transport`).
+
+Frames travel as JSON strings; nothing outside this module touches the
+serialised form.  Malformed wire data raises
+:class:`~repro.errors.RemoteProtocolError` rather than leaking JSON or
+key errors.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Tuple
+
+from repro.errors import RemoteProtocolError
+from repro.textsys.documents import Document
+from repro.textsys.query import (
+    AndQuery,
+    NotQuery,
+    OrQuery,
+    PhraseQuery,
+    ProximityQuery,
+    SearchNode,
+    TermQuery,
+    TruncatedQuery,
+)
+from repro.textsys.result import ResultSet
+
+__all__ = [
+    "node_to_wire",
+    "node_from_wire",
+    "document_to_wire",
+    "document_from_wire",
+    "result_to_wire",
+    "result_from_wire",
+    "encode_request",
+    "decode_request",
+    "encode_response",
+    "encode_error",
+    "decode_response",
+]
+
+
+# ----------------------------------------------------------------------
+# search expressions
+# ----------------------------------------------------------------------
+def node_to_wire(node: SearchNode) -> Dict[str, Any]:
+    """Serialise one search-expression node to a tagged JSON object."""
+    if isinstance(node, TermQuery):
+        return {"type": "term", "field": node.field, "term": node.term}
+    if isinstance(node, PhraseQuery):
+        return {"type": "phrase", "field": node.field, "words": list(node.words)}
+    if isinstance(node, TruncatedQuery):
+        return {"type": "truncated", "field": node.field, "prefix": node.prefix}
+    if isinstance(node, ProximityQuery):
+        return {
+            "type": "proximity",
+            "field": node.field,
+            "left": node.left,
+            "right": node.right,
+            "distance": node.distance,
+        }
+    if isinstance(node, AndQuery):
+        return {"type": "and", "operands": [node_to_wire(op) for op in node.operands]}
+    if isinstance(node, OrQuery):
+        return {"type": "or", "operands": [node_to_wire(op) for op in node.operands]}
+    if isinstance(node, NotQuery):
+        return {"type": "not", "operand": node_to_wire(node.operand)}
+    raise RemoteProtocolError(f"cannot encode search node {type(node).__name__}")
+
+
+def node_from_wire(wire: Dict[str, Any]) -> SearchNode:
+    """Rebuild a search-expression node from its tagged JSON object."""
+    try:
+        kind = wire["type"]
+        if kind == "term":
+            return TermQuery(wire["field"], wire["term"])
+        if kind == "phrase":
+            return PhraseQuery(wire["field"], tuple(wire["words"]))
+        if kind == "truncated":
+            return TruncatedQuery(wire["field"], wire["prefix"])
+        if kind == "proximity":
+            return ProximityQuery(
+                wire["field"], wire["left"], wire["right"], wire["distance"]
+            )
+        if kind == "and":
+            return AndQuery(tuple(node_from_wire(op) for op in wire["operands"]))
+        if kind == "or":
+            return OrQuery(tuple(node_from_wire(op) for op in wire["operands"]))
+        if kind == "not":
+            return NotQuery(node_from_wire(wire["operand"]))
+    except (KeyError, TypeError) as exc:
+        raise RemoteProtocolError(f"malformed search-node wire object: {exc}") from exc
+    raise RemoteProtocolError(f"unknown search-node type {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# documents and result sets
+# ----------------------------------------------------------------------
+def document_to_wire(document: Document) -> Dict[str, Any]:
+    return {"docid": document.docid, "fields": dict(document.fields)}
+
+
+def document_from_wire(wire: Dict[str, Any]) -> Document:
+    try:
+        return Document(wire["docid"], dict(wire["fields"]))
+    except (KeyError, TypeError) as exc:
+        raise RemoteProtocolError(f"malformed document wire object: {exc}") from exc
+
+
+def result_to_wire(result: ResultSet) -> Dict[str, Any]:
+    return {
+        "docids": list(result.docids),
+        "documents": [document_to_wire(document) for document in result.documents],
+        "postings_processed": result.postings_processed,
+    }
+
+
+def result_from_wire(wire: Dict[str, Any]) -> ResultSet:
+    try:
+        return ResultSet(
+            docids=tuple(wire["docids"]),
+            documents=tuple(
+                document_from_wire(document) for document in wire["documents"]
+            ),
+            postings_processed=wire["postings_processed"],
+        )
+    except (KeyError, TypeError) as exc:
+        raise RemoteProtocolError(f"malformed result-set wire object: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# frames
+# ----------------------------------------------------------------------
+def encode_request(frame_id: int, op: str, payload: Dict[str, Any]) -> str:
+    """One request frame: ``{"id": n, "op": name, "payload": {...}}``."""
+    try:
+        return json.dumps({"id": frame_id, "op": op, "payload": payload})
+    except (TypeError, ValueError) as exc:
+        raise RemoteProtocolError(f"unencodable request payload: {exc}") from exc
+
+
+def decode_request(frame: str) -> Tuple[int, str, Dict[str, Any]]:
+    try:
+        wire = json.loads(frame)
+        return wire["id"], wire["op"], wire["payload"]
+    except (ValueError, KeyError, TypeError) as exc:
+        raise RemoteProtocolError(f"malformed request frame: {exc}") from exc
+
+
+def encode_response(frame_id: int, payload: Dict[str, Any]) -> str:
+    """A success response frame, correlated by ``frame_id``."""
+    try:
+        return json.dumps({"id": frame_id, "ok": True, "payload": payload})
+    except (TypeError, ValueError) as exc:
+        raise RemoteProtocolError(f"unencodable response payload: {exc}") from exc
+
+
+def encode_error(frame_id: int, error_type: str, message: str) -> str:
+    """An error response frame carrying the server-side exception."""
+    return json.dumps(
+        {"id": frame_id, "ok": False, "error": {"type": error_type, "message": message}}
+    )
+
+
+def decode_response(frame: str) -> Tuple[int, bool, Dict[str, Any]]:
+    """Returns ``(frame_id, ok, payload-or-error)``."""
+    try:
+        wire = json.loads(frame)
+        if wire["ok"]:
+            return wire["id"], True, wire["payload"]
+        return wire["id"], False, wire["error"]
+    except (ValueError, KeyError, TypeError) as exc:
+        raise RemoteProtocolError(f"malformed response frame: {exc}") from exc

@@ -1,0 +1,247 @@
+"""Retries, circuit breaking, and degradation for the remote transport.
+
+The in-process reproduction never fails; a networked text source fails
+routinely.  Three cooperating policies keep queries correct and the
+accounting honest:
+
+- :class:`RetryPolicy` — exponential backoff with a cap and an optional
+  per-call deadline.  Every failed attempt's wire time plus every
+  backoff pause is *wasted* seconds; the transport charges that waste
+  into the ledger's ``seconds_retried`` channel so retry overhead is as
+  visible as the paper's ``c_i``-dominated costs.
+- :class:`CircuitBreaker` — after ``failure_threshold`` consecutive
+  failures the circuit opens and calls are refused locally (no wire,
+  no wasted seconds) until ``recovery_time`` has passed; then a limited
+  number of half-open probes decide between closing and re-opening.
+  Every state transition is recorded (and traced by the client).
+- :class:`DegradationPolicy` — the optimizer-facing knob: while the
+  source is degraded (breaker not closed, or a forced flag), the
+  executor shrinks semi-join batch capacity — smaller searches lose
+  less work per failed frame — and can fall back from SJ-family methods
+  to plain TS, whose per-tuple searches are individually retryable.
+
+The breaker takes an injectable clock so tests can drive recovery
+without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import GatewayError
+
+__all__ = [
+    "RetryPolicy",
+    "CircuitBreaker",
+    "DegradationPolicy",
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
+]
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with a per-call deadline.
+
+    ``max_attempts`` counts the first try: ``max_attempts=4`` means one
+    call plus up to three retries.  ``deadline`` (seconds, simulated
+    wire time) bounds the *whole* call including backoff pauses; once
+    exceeded, no further attempt is made even if attempts remain.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 0.25
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise GatewayError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise GatewayError("backoff delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise GatewayError("backoff multiplier must be >= 1")
+        if self.deadline is not None and self.deadline <= 0:
+            raise GatewayError("deadline must be positive when given")
+
+    def backoff(self, attempt: int) -> float:
+        """Pause before retry number ``attempt`` (1 = first retry)."""
+        if attempt < 1:
+            raise GatewayError("attempt numbers start at 1")
+        return min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+
+    def exhausted(self, attempts_made: int, elapsed: float) -> bool:
+        """No more attempts allowed after ``attempts_made`` tries?"""
+        if attempts_made >= self.max_attempts:
+            return True
+        return self.deadline is not None and elapsed >= self.deadline
+
+
+#: One breaker transition: (clock time, from-state, to-state).
+Transition = Tuple[float, str, str]
+
+
+class CircuitBreaker:
+    """A three-state breaker with half-open probing.
+
+    Thread-safe; all state moves happen under one lock.  The breaker
+    never sleeps — ``recovery_time`` is measured against the injected
+    ``clock``, so tests can advance time explicitly.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_time: float = 1.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise GatewayError("failure_threshold must be at least 1")
+        if recovery_time < 0:
+            raise GatewayError("recovery_time must be non-negative")
+        if half_open_probes < 1:
+            raise GatewayError("half_open_probes must be at least 1")
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self.half_open_probes = half_open_probes
+        self.clock = clock
+        self.transitions: List[Transition] = []
+        self._lock = threading.Lock()
+        self._state = BREAKER_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+
+    # ------------------------------------------------------------------
+    def _move(self, new_state: str) -> None:
+        self.transitions.append((self.clock(), self._state, new_state))
+        self._state = new_state
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == BREAKER_OPEN
+            and self.clock() - self._opened_at >= self.recovery_time
+        ):
+            self._move(BREAKER_HALF_OPEN)
+            self._probes_in_flight = 0
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May a call go out right now?  Half-open admits only probes."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == BREAKER_CLOSED:
+                return True
+            if self._state == BREAKER_OPEN:
+                return False
+            if self._probes_in_flight < self.half_open_probes:
+                self._probes_in_flight += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state == BREAKER_HALF_OPEN:
+                self._move(BREAKER_CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == BREAKER_HALF_OPEN:
+                # The probe failed: straight back to open.
+                self._move(BREAKER_OPEN)
+                self._opened_at = self.clock()
+                self._consecutive_failures = 0
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state == BREAKER_CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._move(BREAKER_OPEN)
+                self._opened_at = self.clock()
+
+    def drain_transitions(self, seen: int) -> List[Transition]:
+        """Transitions recorded after the first ``seen`` (for tracing)."""
+        with self._lock:
+            return list(self.transitions[seen:])
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.state}, "
+            f"threshold={self.failure_threshold}, "
+            f"recovery={self.recovery_time}s)"
+        )
+
+
+@dataclass
+class DegradationPolicy:
+    """Executor-facing view of source health.
+
+    When ``degraded`` is true the executor and the SJ-family methods
+    adapt: :meth:`effective_term_limit` shrinks the semi-join batch
+    capacity (by ``shrink_factor``, floored at ``min_term_budget``), and
+    :meth:`should_fallback` tells the executor to swap an annotated
+    SJ-family method for plain TS.  Smaller batches bound the work lost
+    when one frame fails; TS bounds it to a single tuple's search.
+
+    Health comes from an attached :class:`CircuitBreaker` (degraded
+    whenever the breaker is not closed) or from ``force_degraded``
+    (manual override for tests and operations).
+    """
+
+    breaker: Optional[CircuitBreaker] = None
+    shrink_factor: float = 0.5
+    min_term_budget: int = 8
+    fallback_to_ts: bool = True
+    force_degraded: bool = False
+    #: Method-name prefixes the fallback applies to.
+    fallback_prefixes: Tuple[str, ...] = ("SJ",)
+    #: How often each adaptation fired (observability).
+    shrink_applications: int = field(default=0)
+    fallback_applications: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.shrink_factor <= 1.0:
+            raise GatewayError("shrink_factor must be in (0, 1]")
+        if self.min_term_budget < 1:
+            raise GatewayError("min_term_budget must be at least 1")
+
+    @property
+    def degraded(self) -> bool:
+        if self.force_degraded:
+            return True
+        return self.breaker is not None and self.breaker.state != BREAKER_CLOSED
+
+    def effective_term_limit(self, term_limit: int) -> int:
+        """The per-search term budget SJ batching may use right now."""
+        if not self.degraded:
+            return term_limit
+        self.shrink_applications += 1
+        return max(self.min_term_budget, int(term_limit * self.shrink_factor))
+
+    def should_fallback(self, method_name: str) -> bool:
+        """Swap this method for plain TS while the source is degraded?"""
+        if not (self.degraded and self.fallback_to_ts):
+            return False
+        if any(method_name.startswith(prefix) for prefix in self.fallback_prefixes):
+            self.fallback_applications += 1
+            return True
+        return False

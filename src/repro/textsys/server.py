@@ -17,7 +17,7 @@ invocations, postings processed, and documents transmitted in each form.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Union
+from typing import Dict, Iterable, List, Union
 
 from repro.errors import SearchLimitExceeded, TextSystemError
 from repro.textsys.documents import Document, DocumentStore
@@ -54,6 +54,30 @@ class ServerCounters:
             postings_processed=self.postings_processed,
             short_documents=self.short_documents,
             long_documents=self.long_documents,
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        """JSON-friendly view, in declaration order."""
+        return {
+            "searches": self.searches,
+            "postings_processed": self.postings_processed,
+            "short_documents": self.short_documents,
+            "long_documents": self.long_documents,
+        }
+
+    def __sub__(self, earlier: "ServerCounters") -> "ServerCounters":
+        """The work done since ``earlier`` (usually a :meth:`snapshot`).
+
+        Lets benchmark reports diff counter snapshots —
+        ``(after - before).as_dict()`` — without hand-copying fields.
+        """
+        if not isinstance(earlier, ServerCounters):
+            return NotImplemented
+        return ServerCounters(
+            searches=self.searches - earlier.searches,
+            postings_processed=self.postings_processed - earlier.postings_processed,
+            short_documents=self.short_documents - earlier.short_documents,
+            long_documents=self.long_documents - earlier.long_documents,
         )
 
 

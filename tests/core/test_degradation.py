@@ -1,0 +1,119 @@
+"""Degradation hooks in the execution layer.
+
+When the remote text source is unhealthy, the SJ-family methods shrink
+their OR-batch capacity (smaller retry units) and the executor swaps an
+annotated SJ-family method for plain TS.  All adaptations must keep the
+answers identical — only the access pattern changes.
+"""
+
+
+from repro.core.executor import execute_plan
+from repro.core.joinmethods import SemiJoinRtp
+from repro.core.joinmethods.base import JoinContext, effective_term_limit
+from repro.core.optimizer.multiquery import MultiJoinQuery
+from repro.core.optimizer.plan import ScanNode, TextJoinNode
+from repro.core.query import ResultShape, TextJoinPredicate, TextJoinQuery
+from repro.gateway.client import TextClient
+from repro.remote.resilience import DegradationPolicy
+from repro.textsys.server import BooleanTextServer
+
+
+def sj_query():
+    return TextJoinQuery(
+        relation="student",
+        join_predicates=(TextJoinPredicate("student.name", "author"),),
+        shape=ResultShape.PAIRS,
+    )
+
+
+class TestEffectiveTermLimit:
+    def test_no_policy_uses_the_server_limit(self, tiny_context):
+        assert effective_term_limit(tiny_context) == tiny_context.client.term_limit
+
+    def test_degraded_policy_shrinks_the_budget(self, tiny_catalog, tiny_store):
+        server = BooleanTextServer(tiny_store, term_limit=40)
+        context = JoinContext(
+            tiny_catalog,
+            TextClient(server),
+            degradation=DegradationPolicy(
+                force_degraded=True, shrink_factor=0.5, min_term_budget=4
+            ),
+        )
+        assert effective_term_limit(context) == 20
+        assert context.degradation.shrink_applications == 1
+
+
+class TestSemiJoinUnderDegradation:
+    def test_shrunk_batches_same_answers_more_searches(self, tiny_catalog, tiny_store):
+        healthy = JoinContext(tiny_catalog, TextClient(BooleanTextServer(tiny_store)))
+        baseline = SemiJoinRtp().execute(sj_query(), healthy)
+        assert healthy.client.ledger.searches == 1  # all conjuncts fit one OR
+
+        degraded = JoinContext(
+            tiny_catalog,
+            TextClient(BooleanTextServer(tiny_store)),
+            degradation=DegradationPolicy(
+                force_degraded=True, shrink_factor=0.01, min_term_budget=2
+            ),
+        )
+        shrunk = SemiJoinRtp().execute(sj_query(), degraded)
+        assert shrunk.result_keys() == baseline.result_keys()
+        # Budget of 2 terms per search -> the 5 student-name conjuncts
+        # need 3 OR-batches instead of 1.
+        assert degraded.client.ledger.searches == 3
+        assert degraded.degradation.shrink_applications >= 1
+
+
+class TestExecutorFallback:
+    def plan_and_query(self):
+        predicate = TextJoinPredicate("student.name", "author")
+        query = MultiJoinQuery(
+            relations=("student",),
+            text_predicates=(predicate,),
+            text_source="m",
+        )
+        plan = TextJoinNode(
+            child=ScanNode(relation="student"),
+            method=SemiJoinRtp(),
+            available_predicates=(predicate,),
+        )
+        return plan, query
+
+    def test_sj_plan_falls_back_to_ts_when_degraded(self, tiny_catalog, tiny_store):
+        plan, query = self.plan_and_query()
+        healthy = JoinContext(tiny_catalog, TextClient(BooleanTextServer(tiny_store)))
+        baseline = execute_plan(plan, query, healthy)
+        assert healthy.client.ledger.searches == 1  # one OR-batched SJ search
+
+        degraded = JoinContext(
+            tiny_catalog,
+            TextClient(BooleanTextServer(tiny_store)),
+            degradation=DegradationPolicy(force_degraded=True),
+        )
+        fallen_back = execute_plan(plan, query, degraded)
+        assert fallen_back.result_keys() == baseline.result_keys()
+        assert degraded.degradation.fallback_applications == 1
+        # TS pays one search per distinct joining name instead.
+        assert degraded.client.ledger.searches == 5
+
+    def test_healthy_policy_changes_nothing(self, tiny_catalog, tiny_store):
+        plan, query = self.plan_and_query()
+        context = JoinContext(
+            tiny_catalog,
+            TextClient(BooleanTextServer(tiny_store)),
+            degradation=DegradationPolicy(),  # attached but healthy
+        )
+        execute_plan(plan, query, context)
+        assert context.client.ledger.searches == 1
+        assert context.degradation.fallback_applications == 0
+
+    def test_fallback_respects_opt_out(self, tiny_catalog, tiny_store):
+        plan, query = self.plan_and_query()
+        context = JoinContext(
+            tiny_catalog,
+            TextClient(BooleanTextServer(tiny_store)),
+            degradation=DegradationPolicy(force_degraded=True, fallback_to_ts=False),
+        )
+        execute_plan(plan, query, context)
+        # Still the SJ method (one OR search), though shrink may apply.
+        assert context.degradation.fallback_applications == 0

@@ -1,0 +1,51 @@
+"""Regression tests for ``TextClient.reset_accounting``.
+
+A reset used to be all-or-nothing; cache hit/miss statistics describe
+the cache rather than the client's accounting period, so by default
+they must survive a reset (harnesses read them across resets), with an
+opt-in flag to zero them too.
+"""
+
+from repro.gateway.cache import GatewayCache
+from repro.gateway.client import TextClient
+from repro.gateway.tracing import CallTracer
+
+
+def warmed_client(server):
+    client = TextClient(server, cache=GatewayCache(), tracer=CallTracer(enabled=True))
+    client.search("TI='belief'")  # miss
+    client.search("TI='belief'")  # hit
+    client.retrieve("d1")  # miss
+    client.retrieve("d1")  # hit
+    return client
+
+
+class TestResetAccounting:
+    def test_default_reset_keeps_cache_stats(self, tiny_server):
+        client = warmed_client(tiny_server)
+        client.reset_accounting()
+        assert client.ledger.total == 0.0
+        assert client.ledger.seconds_saved == 0.0
+        assert client.tracer.spans == []
+        # The cache's own history survives...
+        assert client.cache.search.stats.hits == 1
+        assert client.cache.retrieve.stats.hits == 1
+        # ...and so do the cached entries.
+        assert client.cache.search.stats.lookups == 2
+
+    def test_opt_in_reset_zeroes_cache_stats_but_keeps_entries(self, tiny_server):
+        client = warmed_client(tiny_server)
+        client.reset_accounting(include_cache_stats=True)
+        assert client.cache.search.stats.lookups == 0
+        assert client.cache.retrieve.stats.lookups == 0
+        # Entries stayed warm: the next lookup is a hit, charged nothing.
+        client.search("TI='belief'")
+        assert client.cache.search.stats.hits == 1
+        assert client.ledger.searches == 0
+        assert client.ledger.seconds_saved > 0.0
+
+    def test_flag_is_harmless_without_a_cache(self, tiny_server):
+        client = TextClient(tiny_server)
+        client.search("TI='belief'")
+        client.reset_accounting(include_cache_stats=True)
+        assert client.ledger.total == 0.0

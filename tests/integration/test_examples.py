@@ -55,6 +55,14 @@ def test_multi_join_optimization(capsys):
     assert "Probe(" in out
 
 
+def test_remote_library(capsys):
+    out = run_example("remote_library", capsys)
+    assert "identical results" in out
+    assert "refused with the circuit open" in out
+    assert "closed -> open" in out
+    assert "concurrent speedup" in out
+
+
 def test_sql_interface(capsys):
     out = run_example("sql_interface", capsys)
     assert "Chosen: RTP" in out

@@ -1,0 +1,105 @@
+"""The fault-injecting channel: profiles, determinism, accounting."""
+
+import pytest
+
+from repro.errors import GatewayError, TransportDropped, TransportError
+from repro.remote.channel import (
+    FAULT_PROFILES,
+    FaultInjectingChannel,
+    FaultProfile,
+    LoopbackChannel,
+)
+
+
+def echo(frame: str) -> str:
+    return frame.upper()
+
+
+class TestProfiles:
+    def test_named_profiles_exist(self):
+        assert set(FAULT_PROFILES) == {"lan", "wan", "flaky", "degraded"}
+        assert FAULT_PROFILES["lan"].error_rate == 0.0
+        assert FAULT_PROFILES["flaky"].error_rate > 0.0
+
+    def test_validation(self):
+        with pytest.raises(GatewayError):
+            FaultProfile("bad", latency=-1.0)
+        with pytest.raises(GatewayError):
+            FaultProfile("bad", error_rate=1.5)
+        with pytest.raises(GatewayError):
+            FaultProfile("bad", drop_rate=-0.1)
+
+
+class TestLoopback:
+    def test_perfect_delivery(self):
+        channel = LoopbackChannel(echo)
+        assert channel.send("ping") == "PING"
+        assert channel.stats.frames_sent == 1
+        assert channel.stats.frames_delivered == 1
+
+
+class TestFaultInjection:
+    def test_reliable_profile_delivers(self):
+        channel = FaultInjectingChannel(
+            echo, FAULT_PROFILES["lan"], seed=1, time_scale=0.0
+        )
+        for _ in range(50):
+            assert channel.send("x") == "X"
+        stats = channel.stats
+        assert stats.frames_delivered == 50
+        assert stats.injected_errors == 0
+        assert stats.injected_drops == 0
+        assert stats.simulated_seconds > 0.0
+        assert stats.slept_seconds == 0.0
+
+    def _fault_sequence(self, seed):
+        channel = FaultInjectingChannel(
+            echo, FAULT_PROFILES["degraded"], seed=seed, time_scale=0.0
+        )
+        outcomes = []
+        for _ in range(40):
+            try:
+                channel.send("x")
+                outcomes.append("ok")
+            except TransportDropped:
+                outcomes.append("drop")
+            except TransportError:
+                outcomes.append("error")
+        return outcomes
+
+    def test_seeded_faults_replay(self):
+        first = self._fault_sequence(seed=5)
+        assert first == self._fault_sequence(seed=5)
+        assert first != self._fault_sequence(seed=6)
+        assert "error" in first and "drop" in first and "ok" in first
+
+    def test_error_carries_latency_as_waste(self):
+        profile = FaultProfile("allfail", latency=0.5, error_rate=1.0)
+        channel = FaultInjectingChannel(echo, profile, seed=0, time_scale=0.0)
+        with pytest.raises(TransportError) as excinfo:
+            channel.send("x")
+        assert excinfo.value.simulated_seconds == pytest.approx(0.5)
+        assert channel.stats.injected_errors == 1
+
+    def test_drop_waits_out_the_timeout(self):
+        profile = FaultProfile("blackhole", drop_rate=1.0, timeout=0.75)
+        channel = FaultInjectingChannel(echo, profile, seed=0, time_scale=0.0)
+        with pytest.raises(TransportDropped) as excinfo:
+            channel.send("x")
+        assert excinfo.value.simulated_seconds == pytest.approx(0.75)
+        assert channel.stats.simulated_seconds == pytest.approx(0.75)
+
+    def test_time_scale_drives_real_sleeps(self):
+        slept = []
+        profile = FaultProfile("slow", latency=2.0)
+        channel = FaultInjectingChannel(
+            echo, profile, seed=0, time_scale=0.25, sleeper=slept.append
+        )
+        channel.send("x")
+        assert slept == [pytest.approx(0.5)]
+        assert channel.stats.simulated_seconds == pytest.approx(2.0)
+        assert channel.stats.slept_seconds == pytest.approx(0.5)
+
+    def test_negative_time_scale_rejected(self):
+        with pytest.raises(GatewayError):
+            FaultInjectingChannel(echo, FAULT_PROFILES["lan"], time_scale=-1.0)

@@ -1,0 +1,158 @@
+"""Wire-codec round trips: every node type, documents, results, frames."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import RemoteProtocolError
+from repro.remote.codec import (
+    decode_request,
+    decode_response,
+    document_from_wire,
+    document_to_wire,
+    encode_error,
+    encode_request,
+    encode_response,
+    node_from_wire,
+    node_to_wire,
+    result_from_wire,
+    result_to_wire,
+)
+from repro.textsys.documents import Document
+from repro.textsys.query import (
+    AndQuery,
+    NotQuery,
+    OrQuery,
+    PhraseQuery,
+    ProximityQuery,
+    TermQuery,
+    TruncatedQuery,
+)
+from repro.textsys.result import ResultSet
+
+NODES = [
+    TermQuery("title", "belief"),
+    PhraseQuery("title", ("belief", "update")),
+    TruncatedQuery("author", "grav"),
+    ProximityQuery("abstract", "belief", "update", 3),
+    AndQuery((TermQuery("title", "belief"), TermQuery("author", "gravano"))),
+    OrQuery((TermQuery("title", "a"), TermQuery("title", "b"))),
+    NotQuery(TermQuery("title", "unwanted")),
+    AndQuery(
+        (
+            OrQuery((TermQuery("title", "a"), PhraseQuery("title", ("b", "c")))),
+            NotQuery(TruncatedQuery("author", "sm")),
+        )
+    ),
+]
+
+
+class TestNodeRoundTrip:
+    @pytest.mark.parametrize("node", NODES, ids=lambda n: type(n).__name__)
+    def test_round_trip_preserves_node(self, node):
+        wire = node_to_wire(node)
+        back = node_from_wire(wire)
+        assert back == node
+        assert back.to_expression() == node.to_expression()
+        assert back.term_count() == node.term_count()
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(RemoteProtocolError):
+            node_from_wire({"type": "regex", "pattern": ".*"})
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(RemoteProtocolError):
+            node_from_wire({"type": "term", "field": "title"})
+
+    def test_unencodable_node_rejected(self):
+        with pytest.raises(RemoteProtocolError):
+            node_to_wire("TI='belief'")  # strings are parsed upstream
+
+
+# A recursive strategy mirroring the expression grammar (normalized
+# words only: the node constructors reject anything tokenize() changes).
+_words = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=8)
+_fields = st.sampled_from(["title", "author", "abstract", "year"])
+_leaves = st.one_of(
+    st.builds(TermQuery, _fields, _words),
+    st.builds(
+        PhraseQuery,
+        _fields,
+        st.lists(_words, min_size=2, max_size=4).map(tuple),
+    ),
+    st.builds(TruncatedQuery, _fields, _words),
+    st.builds(
+        ProximityQuery, _fields, _words, _words, st.integers(min_value=1, max_value=9)
+    ),
+)
+_trees = st.recursive(
+    _leaves,
+    lambda children: st.one_of(
+        st.builds(AndQuery, st.lists(children, min_size=2, max_size=3).map(tuple)),
+        st.builds(OrQuery, st.lists(children, min_size=2, max_size=3).map(tuple)),
+        st.builds(NotQuery, children),
+    ),
+    max_leaves=12,
+)
+
+
+@given(_trees)
+def test_arbitrary_trees_round_trip(node):
+    back = node_from_wire(node_to_wire(node))
+    assert back == node
+    assert back.to_expression() == node.to_expression()
+
+
+class TestDocumentAndResult:
+    def test_document_round_trip(self):
+        document = Document("d7", {"title": "belief update", "year": "may 1993"})
+        back = document_from_wire(document_to_wire(document))
+        assert back.docid == document.docid
+        assert dict(back.fields) == dict(document.fields)
+
+    def test_result_round_trip(self):
+        result = ResultSet(
+            docids=("d1", "d3"),
+            documents=(
+                Document("d1", {"title": "one"}),
+                Document("d3", {"title": "three"}),
+            ),
+            postings_processed=17,
+        )
+        back = result_from_wire(result_to_wire(result))
+        assert back.docids == result.docids
+        assert back.postings_processed == result.postings_processed
+        assert [d.docid for d in back.documents] == ["d1", "d3"]
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(RemoteProtocolError):
+            document_from_wire({"fields": {}})
+
+    def test_malformed_result_rejected(self):
+        with pytest.raises(RemoteProtocolError):
+            result_from_wire({"docids": ["d1"]})
+
+
+class TestFrames:
+    def test_request_round_trip(self):
+        frame = encode_request(5, "search", {"query": {"type": "term"}})
+        assert decode_request(frame) == (5, "search", {"query": {"type": "term"}})
+
+    def test_success_response_round_trip(self):
+        frame = encode_response(9, {"result": []})
+        assert decode_response(frame) == (9, True, {"result": []})
+
+    def test_error_response_round_trip(self):
+        frame = encode_error(4, "SearchLimitExceeded", "too many terms")
+        frame_id, ok, error = decode_response(frame)
+        assert (frame_id, ok) == (4, False)
+        assert error == {"type": "SearchLimitExceeded", "message": "too many terms"}
+
+    def test_garbage_frames_rejected(self):
+        with pytest.raises(RemoteProtocolError):
+            decode_request("not json")
+        with pytest.raises(RemoteProtocolError):
+            decode_response("{}")
+
+    def test_unencodable_payload_rejected(self):
+        with pytest.raises(RemoteProtocolError):
+            encode_request(1, "search", {"query": object()})

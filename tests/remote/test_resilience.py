@@ -1,0 +1,176 @@
+"""Retry policy, circuit breaker, and the degradation knob."""
+
+import pytest
+
+from repro.errors import GatewayError
+from repro.remote.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    DegradationPolicy,
+    RetryPolicy,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_then_caps(self):
+        policy = RetryPolicy(base_delay=0.01, multiplier=2.0, max_delay=0.05)
+        assert policy.backoff(1) == pytest.approx(0.01)
+        assert policy.backoff(2) == pytest.approx(0.02)
+        assert policy.backoff(3) == pytest.approx(0.04)
+        assert policy.backoff(4) == pytest.approx(0.05)  # capped
+        assert policy.backoff(9) == pytest.approx(0.05)
+
+    def test_exhausted_by_attempts(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert not policy.exhausted(2, elapsed=0.0)
+        assert policy.exhausted(3, elapsed=0.0)
+
+    def test_exhausted_by_deadline(self):
+        policy = RetryPolicy(max_attempts=100, deadline=1.0)
+        assert not policy.exhausted(1, elapsed=0.5)
+        assert policy.exhausted(1, elapsed=1.0)
+
+    def test_validation(self):
+        with pytest.raises(GatewayError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(GatewayError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(GatewayError):
+            RetryPolicy(deadline=0.0)
+        with pytest.raises(GatewayError):
+            RetryPolicy().backoff(0)
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs):
+        clock = FakeClock()
+        defaults = dict(failure_threshold=3, recovery_time=10.0, clock=clock)
+        defaults.update(kwargs)
+        return CircuitBreaker(**defaults), clock
+
+    def test_opens_after_consecutive_failures(self):
+        breaker, _ = self.make()
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_half_open_after_recovery_then_closes_on_probe_success(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == BREAKER_HALF_OPEN
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # only one probe admitted
+        breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allow()
+        # ... and the open period restarts from the probe failure.
+        clock.advance(10.0)
+        assert breaker.state == BREAKER_HALF_OPEN
+
+    def test_transitions_recorded_and_drainable(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        moves = [(old, new) for _, old, new in breaker.transitions]
+        assert moves == [
+            (BREAKER_CLOSED, BREAKER_OPEN),
+            (BREAKER_OPEN, BREAKER_HALF_OPEN),
+            (BREAKER_HALF_OPEN, BREAKER_CLOSED),
+        ]
+        assert breaker.drain_transitions(2) == breaker.transitions[2:]
+
+    def test_validation(self):
+        with pytest.raises(GatewayError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(GatewayError):
+            CircuitBreaker(recovery_time=-1.0)
+        with pytest.raises(GatewayError):
+            CircuitBreaker(half_open_probes=0)
+
+
+class TestDegradationPolicy:
+    def test_healthy_by_default(self):
+        policy = DegradationPolicy()
+        assert not policy.degraded
+        assert policy.effective_term_limit(70) == 70
+        assert not policy.should_fallback("SJ")
+        assert policy.shrink_applications == 0
+
+    def test_forced_degradation_shrinks_with_floor(self):
+        policy = DegradationPolicy(
+            force_degraded=True, shrink_factor=0.5, min_term_budget=8
+        )
+        assert policy.effective_term_limit(70) == 35
+        assert policy.effective_term_limit(10) == 8  # floored
+        assert policy.shrink_applications == 2
+
+    def test_fallback_applies_to_sj_family_only(self):
+        policy = DegradationPolicy(force_degraded=True)
+        assert policy.should_fallback("SJ")
+        assert policy.should_fallback("SJ+RTP")
+        assert not policy.should_fallback("TS")
+        assert not policy.should_fallback("P+TS")
+        assert policy.fallback_applications == 2
+
+    def test_fallback_can_be_disabled(self):
+        policy = DegradationPolicy(force_degraded=True, fallback_to_ts=False)
+        assert not policy.should_fallback("SJ")
+
+    def test_breaker_state_drives_degradation(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_time=5.0, clock=clock)
+        policy = DegradationPolicy(breaker=breaker)
+        assert not policy.degraded
+        breaker.record_failure()
+        assert policy.degraded  # open
+        clock.advance(5.0)
+        assert policy.degraded  # half-open still counts as degraded
+        assert breaker.allow()
+        breaker.record_success()
+        assert not policy.degraded
+
+    def test_validation(self):
+        with pytest.raises(GatewayError):
+            DegradationPolicy(shrink_factor=0.0)
+        with pytest.raises(GatewayError):
+            DegradationPolicy(min_term_budget=0)

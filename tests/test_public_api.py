@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.core.optimizer",
     "repro.workload",
     "repro.bench",
+    "repro.remote",
 ]
 
 

@@ -81,3 +81,43 @@ class TestCounters:
 def test_meta_information(tiny_server):
     assert tiny_server.document_count == 4
     assert tiny_server.document_frequency("title", "belief") == 2
+
+
+class TestCounterDeltas:
+    def test_as_dict_declaration_order(self, tiny_server):
+        tiny_server.search("TI='belief'")
+        tiny_server.retrieve("d1")
+        assert tiny_server.counters.as_dict() == {
+            "searches": 1,
+            "postings_processed": 2,
+            "short_documents": 2,
+            "long_documents": 1,
+        }
+
+    def test_subtraction_yields_the_delta(self, tiny_server):
+        tiny_server.search("TI='belief'")
+        before = tiny_server.counters.snapshot()
+        tiny_server.search("TI='systems'")
+        tiny_server.retrieve("d2")
+        delta = tiny_server.counters - before
+        assert delta.searches == 1
+        assert delta.long_documents == 1
+        assert delta.short_documents == tiny_server.counters.short_documents - 2
+
+    def test_subtraction_requires_counters(self, tiny_server):
+        with pytest.raises(TypeError):
+            tiny_server.counters - 3
+
+    def test_counter_delta_rows_feed_tables(self, tiny_server):
+        from repro.bench.reporting import counter_delta_rows
+
+        before = tiny_server.counters.snapshot()
+        tiny_server.search("TI='belief'")
+        rows = counter_delta_rows(before, tiny_server.counters)
+        assert rows[0] == ["searches", 1]
+        assert [name for name, _ in rows] == [
+            "searches",
+            "postings_processed",
+            "short_documents",
+            "long_documents",
+        ]
