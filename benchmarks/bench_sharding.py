@@ -1,0 +1,173 @@
+"""Sharded scatter-gather: wall-clock speedup at bit-identical cost.
+
+The acceptance benchmark for the sharded text service:
+
+- at 4 shards on the ``wan`` profile with per-shard pool 4, a
+  retrieve-heavy workload must beat the 1-shard deployment by at least
+  2x wall clock.  The win comes from *routing*: a ``retrieve_many``
+  splits its frame stream across shards, so each shard pays a quarter
+  of the latency waves, and the shards run concurrently.  Scattered
+  searches pay full per-shard wire time and do not speed up — which is
+  exactly the paper's Section 4 story: invocation latency dominates,
+  and only call *division* (not duplication) buys wall clock;
+- the merged answers must be identical to the unsharded ones and the
+  priced ``CostLedger.total`` bit-identical across shard counts — the
+  cost model must not notice the deployment change.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.reporting import ascii_table
+from repro.gateway.client import TextClient
+from repro.remote import build_sharded_transport
+from repro.textsys.query import TermQuery
+
+POOL_SIZE = 4
+SHARDS = 4
+QUERY_COUNT = 32
+RETRIEVE_COUNT = 240
+
+
+@pytest.fixture(scope="module")
+def queries(scenario):
+    """32 single-term title searches drawn from the corpus vocabulary."""
+    vocabulary = scenario.server.index.vocabulary("title")
+    step = max(1, len(vocabulary) // QUERY_COUNT)
+    terms = vocabulary[::step][:QUERY_COUNT]
+    assert len(terms) == QUERY_COUNT
+    return [TermQuery("title", term) for term in terms]
+
+
+@pytest.fixture(scope="module")
+def docids(scenario):
+    """240 distinct docids: the retrieve-heavy half of the workload."""
+    wanted = [document.docid for document in scenario.server.store]
+    assert len(wanted) >= RETRIEVE_COUNT
+    return wanted[:RETRIEVE_COUNT]
+
+
+def make_transport(scenario, shards, time_scale):
+    return build_sharded_transport(
+        scenario.server,
+        shards,
+        profile="wan",
+        seed=7,
+        time_scale=time_scale,
+        pool_size=POOL_SIZE,
+    )
+
+
+def run_workload(transport, queries, docids):
+    started = time.perf_counter()
+    results = transport.search_batch(queries)
+    documents = transport.retrieve_many(docids)
+    return time.perf_counter() - started, results, documents
+
+
+def test_four_shards_beat_one_wall_clock(scenario, queries, docids, benchmark):
+    # time_scale=1: real sleeps — the speedup must be honest wall clock.
+    expected = [scenario.server.search(query).docids for query in queries]
+    single = make_transport(scenario, 1, time_scale=1.0)
+    sharded = make_transport(scenario, SHARDS, time_scale=1.0)
+    try:
+        single_seconds, single_results, single_documents = run_workload(
+            single, queries, docids
+        )
+        sharded_seconds, sharded_results, sharded_documents = benchmark.pedantic(
+            lambda: run_workload(sharded, queries, docids),
+            rounds=1,
+            iterations=1,
+        )
+    finally:
+        single.close()
+        sharded.close()
+
+    # Same answers as the in-process server, in the same order.
+    assert [r.docids for r in single_results] == expected
+    assert [r.docids for r in sharded_results] == expected
+    assert [d.docid for d in single_documents] == docids
+    assert [d.docid for d in sharded_documents] == docids
+
+    speedup = single_seconds / sharded_seconds
+    print()
+    print(
+        ascii_table(
+            ["deployment", "wall (s)", "frames", "calls"],
+            [
+                [
+                    "1 shard",
+                    round(single_seconds, 3),
+                    single.stats.frames_sent,
+                    single.stats.calls,
+                ],
+                [
+                    f"{SHARDS} shards",
+                    round(sharded_seconds, 3),
+                    sharded.stats.frames_sent,
+                    sharded.stats.calls,
+                ],
+            ],
+            title=f"search_batch of {QUERY_COUNT} + retrieve_many of "
+            f"{RETRIEVE_COUNT} on 'wan', pool {POOL_SIZE} "
+            f"(speedup {speedup:.1f}x)",
+        )
+    )
+    assert speedup >= 2.0, f"{SHARDS} shards only {speedup:.2f}x over 1"
+
+
+def test_ledger_totals_bit_identical_across_shard_counts(scenario, queries, docids):
+    """The deployment is invisible to the cost model (time_scale=0)."""
+    totals = {}
+    for shards in (1, 2, SHARDS):
+        transport = make_transport(scenario, shards, time_scale=0.0)
+        client = TextClient(transport)
+        try:
+            client.search_batch(queries)
+            client.retrieve_many(docids[:40])
+        finally:
+            transport.close()
+        totals[shards] = client.ledger.total
+    assert totals[2] == totals[1]
+    assert totals[SHARDS] == totals[1]
+    print(f"\npriced total at 1/2/{SHARDS} shards: {totals[1]:.5f} (identical)")
+
+
+def test_replica_failover_keeps_answers_identical(scenario, queries):
+    """Dead primaries: every answer still correct, failovers visible."""
+    from repro.remote import (
+        RemoteTextTransport,
+        RetryPolicy,
+        ShardBackend,
+        ShardedTextTransport,
+    )
+    from repro.remote.channel import FaultProfile
+    from repro.textsys.server import BooleanTextServer
+    from repro.textsys.sharding import partition_store
+
+    expected = [scenario.server.search(query).docids for query in queries]
+    corpus = partition_store(scenario.server.store, SHARDS)
+    dead = FaultProfile("dead", error_rate=1.0)
+    backends = []
+    for shard_id, store in enumerate(corpus.stores):
+        primary = RemoteTextTransport(
+            BooleanTextServer(store),
+            profile=dead,
+            time_scale=0.0,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.001),
+        )
+        replica = RemoteTextTransport(
+            BooleanTextServer(store), profile="wan", time_scale=0.0
+        )
+        backends.append(ShardBackend(shard_id, primary, [replica]))
+    transport = ShardedTextTransport(corpus, backends)
+    try:
+        results = transport.search_batch(queries)
+    finally:
+        transport.close()
+    assert [r.docids for r in results] == expected
+    assert transport.failovers >= SHARDS
+    print(f"\nfailovers={transport.failovers}  {transport!r}")

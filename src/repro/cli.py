@@ -38,6 +38,8 @@ from repro.remote import (
     CircuitBreaker,
     RemoteTextTransport,
     RetryPolicy,
+    ShardedTextTransport,
+    build_sharded_transport,
 )
 from repro.workload import build_default_scenario
 from repro.workload.scenarios import build_prl_scenario
@@ -206,6 +208,38 @@ def _print_transport_report(transport) -> None:
         ))
 
 
+def _print_sharded_report(transport) -> None:
+    report = transport.report()
+    per_shard = report.pop("per_shard")
+    totals = report.pop("totals")
+    rows = [[key, value] for key, value in report.items()]
+    rows += [[f"totals.{key}", round(value, 6)] for key, value in totals.items()]
+    profile = getattr(transport.profile, "name", "loopback")
+    print(
+        ascii_table(
+            ["sharding metric", "value"],
+            rows,
+            title=f"Sharded text service ({profile} profile)",
+        )
+    )
+    print(
+        ascii_table(
+            ["shard", "documents", "failovers", "breaker", "frames", "retried s"],
+            [
+                [
+                    shard["shard"],
+                    shard["documents"],
+                    shard["failovers"],
+                    shard["breaker_state"],
+                    shard["frames_sent"],
+                    shard["seconds_retried"],
+                ]
+                for shard in per_shard
+            ],
+        )
+    )
+
+
 def _print_enumeration() -> None:
     rows = [
         [
@@ -265,6 +299,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=1,
         help="connection-pool size for batched remote calls (default 1)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="partition the corpus across N shard servers and "
+        "scatter-gather every foreign call (0 = unsharded, the default; "
+        "combines with --remote for the link profile, else lan)",
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        help="failover replicas per shard (only meaningful with --shards)",
+    )
     arguments = parser.parse_args(argv)
 
     needs_scenario = arguments.experiment in (
@@ -279,7 +327,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             scenario.shared_tracer = tracer
         if arguments.cache:
             scenario.shared_cache = GatewayCache()
-        if arguments.remote:
+        if arguments.shards:
+            # Sharded scatter-gather: same simulated-network setup as
+            # --remote (time_scale=0, persistent retries) but the corpus
+            # is partitioned and every shard gets its own channel,
+            # breaker, and optional failover replicas.
+            transport = build_sharded_transport(
+                scenario.server,
+                arguments.shards,
+                replicas=arguments.replicas,
+                profile=arguments.remote or "lan",
+                seed=arguments.seed,
+                pool_size=arguments.pool,
+                time_scale=0.0,
+                retry=RetryPolicy(max_attempts=12),
+                breaker_factory=lambda: CircuitBreaker(
+                    failure_threshold=64, recovery_time=0.05
+                ),
+            )
+            scenario.server = transport
+        elif arguments.remote:
             # time_scale=0: pay the simulated network in the accounting
             # report, not in the user's wall clock.  The experiments make
             # thousands of foreign calls, so retry persistently enough
@@ -323,7 +390,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(format_trace(tracer))
     if transport is not None:
         print()
-        _print_transport_report(transport)
+        if isinstance(transport, ShardedTextTransport):
+            _print_sharded_report(transport)
+        else:
+            _print_transport_report(transport)
     return 0 if ran_any else 1
 
 

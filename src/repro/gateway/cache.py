@@ -166,6 +166,14 @@ class GatewayCache:
     mutated, or the client was pointed at another server), both caches
     are dropped wholesale.  Versions are compared for *inequality*, not
     order, so swapping between two servers also invalidates.
+
+    The version key may be any hashable value.  Bare integers work, but
+    they are unsafe across backends: two different servers can publish
+    the same numeric ``data_version``, so an A→B swap (or A→B→A with
+    equal counts) would serve A's entries for B.  Clients therefore
+    validate with the server's ``data_fingerprint`` — a
+    ``(store uid, version)`` pair (or a tuple of per-shard pairs on a
+    sharded service) — whenever the server publishes one.
     """
 
     def __init__(
@@ -175,18 +183,23 @@ class GatewayCache:
     ) -> None:
         self.search = SearchCache(search_capacity)
         self.retrieve = RetrieveCache(retrieve_capacity)
-        self._seen_version: Optional[int] = None
+        self._seen_version: Optional[Any] = None
 
-    def validate(self, data_version: int) -> bool:
+    def validate(self, data_version: Any) -> bool:
         """Drop everything if the backing data moved; True when still valid."""
         if self._seen_version == data_version:
             return True
         stale = self._seen_version is not None
         if stale:
+            # Each cache records its own invalidation only when it
+            # actually held entries to drop — an empty cache was not
+            # invalidated in any observable sense.
+            if len(self.search):
+                self.search.stats.invalidations += 1
+            if len(self.retrieve):
+                self.retrieve.stats.invalidations += 1
             self.search.clear()
             self.retrieve.clear()
-            self.search.stats.invalidations += 1
-            self.retrieve.stats.invalidations += 1
         self._seen_version = data_version
         return not stale
 

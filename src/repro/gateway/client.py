@@ -134,7 +134,17 @@ class TextClient:
             query = parse_search(query)
         return query, query.to_expression()
 
-    def _data_version(self) -> int:
+    def _data_version(self):
+        """The cache-validation key for the current server.
+
+        Prefers the server's ``data_fingerprint`` (a ``(store uid,
+        version)`` pair that cannot collide across backends) and falls
+        back to the bare ``data_version`` counter for servers that do
+        not publish one.
+        """
+        fingerprint = getattr(self.server, "data_fingerprint", None)
+        if fingerprint is not None:
+            return fingerprint
         return getattr(self.server, "data_version", 0)
 
     # ------------------------------------------------------------------
@@ -231,18 +241,33 @@ class TextClient:
             if cached is None:
                 misses.append((index, query, expression))
 
+        # A batch may repeat the same instantiated conjunct (SJ batches
+        # routinely do); each distinct expression travels — and is
+        # metered — once, and the answer fans back out to every
+        # occurrence, mirroring retrieve_many's duplicate handling.
+        miss_positions: Dict[str, List[int]] = {}
+        distinct: List[Tuple[Union[SearchNode, str], str]] = []
+        for index, query, expression in misses:
+            positions = miss_positions.get(expression)
+            if positions is None:
+                miss_positions[expression] = [index]
+                distinct.append((query, expression))
+            else:
+                positions.append(index)
+
         constants = self.ledger.constants
         cost = 0.0
-        if misses:
+        if distinct:
             try:
-                fetched = search_batch([query for _, query, _ in misses])
+                fetched = search_batch([query for query, _ in distinct])
             finally:
                 self._settle_transport()
             miss_postings = sum(result.postings_processed for result in fetched)
             miss_returned = sum(len(result) for result in fetched)
             cost = self.ledger.charge_search(miss_postings, miss_returned)
-            for (index, _, expression), result in zip(misses, fetched):
-                results[index] = result
+            for (_, expression), result in zip(distinct, fetched):
+                for index in miss_positions[expression]:
+                    results[index] = result
                 self.cache.search.put(expression, result)
 
         # What the batch would have cost without the cache, minus what

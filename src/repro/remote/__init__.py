@@ -48,6 +48,12 @@ from repro.remote.resilience import (
     DegradationPolicy,
     RetryPolicy,
 )
+from repro.remote.router import (
+    MergedServerCounters,
+    ShardBackend,
+    ShardedTextTransport,
+    build_sharded_transport,
+)
 from repro.remote.transport import (
     RemoteTextTransport,
     TransportEvent,
@@ -84,4 +90,8 @@ __all__ = [
     "TransportEvent",
     "TransportStats",
     "install_transport",
+    "ShardBackend",
+    "MergedServerCounters",
+    "ShardedTextTransport",
+    "build_sharded_transport",
 ]

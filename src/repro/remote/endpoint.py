@@ -109,8 +109,10 @@ class TextServerEndpoint:
         }
 
     def _op_meta(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        fingerprint = getattr(self.server, "data_fingerprint", None)
         return {
             "document_count": self.server.document_count,
             "term_limit": self.server.term_limit,
             "data_version": getattr(self.server, "data_version", 0),
+            "data_fingerprint": list(fingerprint) if fingerprint is not None else None,
         }

@@ -96,6 +96,16 @@ class CircuitBreaker:
     Thread-safe; all state moves happen under one lock.  The breaker
     never sleeps — ``recovery_time`` is measured against the injected
     ``clock``, so tests can advance time explicitly.
+
+    Half-open admission is gated to ``half_open_probes`` *in-flight*
+    trial calls, correlated by thread: under pooled dispatch, calls
+    admitted before the circuit tripped can still be in flight when the
+    breaker reaches half-open, and their late outcomes must not decide
+    the probe — a stale success would close the circuit (admitting the
+    whole pool while the source may still be down) and a stale failure
+    would re-open it under the actual probe.  Only outcomes recorded by
+    a thread that :meth:`allow` admitted *as a probe* move the
+    half-open state; everyone else's are ignored until the probe rules.
     """
 
     def __init__(
@@ -120,7 +130,8 @@ class CircuitBreaker:
         self._state = BREAKER_CLOSED
         self._consecutive_failures = 0
         self._opened_at = 0.0
-        self._probes_in_flight = 0
+        #: Thread idents of in-flight half-open probes.
+        self._probe_threads: set = set()
 
     # ------------------------------------------------------------------
     def _move(self, new_state: str) -> None:
@@ -139,7 +150,7 @@ class CircuitBreaker:
             and self.clock() - self._opened_at >= self.recovery_time
         ):
             self._move(BREAKER_HALF_OPEN)
-            self._probes_in_flight = 0
+            self._probe_threads.clear()
 
     # ------------------------------------------------------------------
     def allow(self) -> bool:
@@ -150,25 +161,33 @@ class CircuitBreaker:
                 return True
             if self._state == BREAKER_OPEN:
                 return False
-            if self._probes_in_flight < self.half_open_probes:
-                self._probes_in_flight += 1
+            if len(self._probe_threads) < self.half_open_probes:
+                ident = threading.get_ident()
+                self._probe_threads.add(ident)
                 return True
             return False
 
     def record_success(self) -> None:
         with self._lock:
+            ident = threading.get_ident()
+            was_probe = ident in self._probe_threads
+            self._probe_threads.discard(ident)
             self._consecutive_failures = 0
-            if self._state == BREAKER_HALF_OPEN:
+            if self._state == BREAKER_HALF_OPEN and was_probe:
                 self._move(BREAKER_CLOSED)
 
     def record_failure(self) -> None:
         with self._lock:
             self._maybe_half_open()
+            ident = threading.get_ident()
+            was_probe = ident in self._probe_threads
+            self._probe_threads.discard(ident)
             if self._state == BREAKER_HALF_OPEN:
-                # The probe failed: straight back to open.
-                self._move(BREAKER_OPEN)
-                self._opened_at = self.clock()
-                self._consecutive_failures = 0
+                if was_probe:
+                    # The probe failed: straight back to open.
+                    self._move(BREAKER_OPEN)
+                    self._opened_at = self.clock()
+                    self._consecutive_failures = 0
                 return
             self._consecutive_failures += 1
             if (

@@ -236,6 +236,20 @@ class RemoteTextTransport:
     def data_version(self) -> int:
         return self._fetch_meta()["data_version"]
 
+    @property
+    def data_fingerprint(self):
+        """The server's collision-free validation key (fetched fresh).
+
+        Tuples travel the JSON wire as lists; they are restored here so
+        the fingerprint compares equal to the in-process one.
+        """
+        fingerprint = self._fetch_meta().get("data_fingerprint")
+        if fingerprint is None:
+            return None
+        return tuple(
+            tuple(part) if isinstance(part, list) else part for part in fingerprint
+        )
+
     # ------------------------------------------------------------------
     # the foreign operations
     # ------------------------------------------------------------------
@@ -395,11 +409,17 @@ class RemoteTextTransport:
             self.stats.seconds_retried += simulated_seconds
 
     def _note_breaker(self) -> None:
-        """Turn new breaker transitions into traceable events."""
-        transitions = self.breaker.drain_transitions(self._transitions_seen)
-        if not transitions:
-            return
+        """Turn new breaker transitions into traceable events.
+
+        The read of ``_transitions_seen``, the drain, and the cursor
+        advance must form one atomic step: two pool workers racing here
+        would otherwise drain the same transitions (duplicate breaker
+        events) while advancing the cursor twice (losing later ones).
+        """
         with self._lock:
+            transitions = self.breaker.drain_transitions(self._transitions_seen)
+            if not transitions:
+                return
             self._transitions_seen += len(transitions)
             for _, old_state, new_state in transitions:
                 if new_state == BREAKER_OPEN:

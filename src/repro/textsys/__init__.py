@@ -38,6 +38,13 @@ from repro.textsys.query import (
 )
 from repro.textsys.result import ResultSet
 from repro.textsys.server import DEFAULT_TERM_LIMIT, BooleanTextServer, ServerCounters
+from repro.textsys.sharding import (
+    PARTITION_SCHEMES,
+    ShardedCorpus,
+    build_shard_servers,
+    hash_shard_of,
+    partition_store,
+)
 
 __all__ = [
     "Document",
@@ -79,4 +86,9 @@ __all__ = [
     "load_store",
     "VectorSpaceEngine",
     "ScoredDocument",
+    "PARTITION_SCHEMES",
+    "ShardedCorpus",
+    "partition_store",
+    "build_shard_servers",
+    "hash_shard_of",
 ]

@@ -64,6 +64,10 @@ class BatchingTextServer:
         return self.server.data_version
 
     @property
+    def data_fingerprint(self):
+        return self.server.data_fingerprint
+
+    @property
     def term_limit(self) -> int:
         return self.server.term_limit
 

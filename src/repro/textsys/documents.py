@@ -11,12 +11,16 @@ separately by docid.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from repro.errors import SchemaError, UnknownDocumentError, UnknownFieldError
 
 __all__ = ["Document", "DocumentStore"]
+
+#: Process-wide store identity counter (see :attr:`DocumentStore.uid`).
+_store_uids = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -73,6 +77,12 @@ class DocumentStore:
         self._documents: Dict[str, Document] = {}
         #: Monotone mutation counter (the cache-invalidation stamp).
         self.version = 0
+        #: Process-unique store identity.  Two *different* stores can sit
+        #: at the same numeric ``version``, so caches that only compare
+        #: versions would serve one store's entries for the other; the
+        #: ``(uid, version)`` pair — see ``data_fingerprint`` on the
+        #: servers — cannot collide across stores.
+        self.uid = next(_store_uids)
 
     def add(self, document: Document) -> None:
         """Add a document; docids must be unique."""

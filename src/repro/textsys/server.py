@@ -17,7 +17,7 @@ invocations, postings processed, and documents transmitted in each form.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Union
+from typing import Dict, Iterable, List, Tuple, Union
 
 from repro.errors import SearchLimitExceeded, TextSystemError
 from repro.textsys.documents import Document, DocumentStore
@@ -113,6 +113,18 @@ class BooleanTextServer:
         moves, because the same expression may now match differently.
         """
         return self.store.version
+
+    @property
+    def data_fingerprint(self) -> Tuple[int, int]:
+        """``(store uid, version)``: a collision-free cache-validation key.
+
+        ``data_version`` alone cannot distinguish two different stores
+        that happen to sit at the same mutation count; the fingerprint
+        pairs the version with the store's process-unique identity so a
+        client cache swapped between servers can never mistake one
+        backend's entries for another's.
+        """
+        return (self.store.uid, self.store.version)
 
     def search(self, query: Union[SearchNode, str]) -> ResultSet:
         """Run one Boolean search; returns the short-form result set.

@@ -1,0 +1,160 @@
+"""Corpus partitioning for the sharded text service.
+
+The paper's loose-integration model (Section 2.1) treats the text system
+as one opaque ``search``/``retrieve`` endpoint; a production deployment
+splits the collection across shards and scatter-gathers.  This module
+holds the *data* half of that story: :func:`partition_store` splits one
+:class:`~repro.textsys.documents.DocumentStore` into N disjoint shard
+stores, and the resulting :class:`ShardedCorpus` knows how to route
+docids and how to merge per-shard result sets back into exactly what the
+unsharded server would have returned.
+
+Two properties make the merge faithful to the Section 4 cost formulas:
+
+- **docid ordering** — a single server returns docids in indexing
+  (insertion) order.  The partitioner records every docid's *global*
+  ordinal, and :meth:`ShardedCorpus.merge_results` sorts the union by
+  it, so the merged short form is bit-identical to the unsharded one.
+- **postings additivity** — every posting lives in exactly one shard's
+  inverted index, and the engine's ``postings_processed`` is a sum of
+  retrieved list lengths, so summing the per-shard counts reproduces
+  the single-server count exactly (for every node type, including
+  truncation expansion: a term absent from a shard contributes nothing
+  to that shard's vocabulary or its count).
+
+Partitioning is a snapshot: documents added to the *source* store
+afterwards are not re-distributed.  Shard stores may be mutated
+individually (their versions feed the merged ``data_fingerprint``).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import TextSystemError, UnknownDocumentError
+from repro.textsys.documents import Document, DocumentStore
+from repro.textsys.result import ResultSet
+from repro.textsys.server import DEFAULT_TERM_LIMIT, BooleanTextServer
+
+__all__ = [
+    "PARTITION_SCHEMES",
+    "hash_shard_of",
+    "ShardedCorpus",
+    "partition_store",
+    "build_shard_servers",
+]
+
+#: The supported document→shard assignment schemes.
+PARTITION_SCHEMES = ("hash", "round_robin")
+
+
+def hash_shard_of(docid: str, shard_count: int) -> int:
+    """The stable hash-partition shard for one docid.
+
+    Uses CRC-32 rather than :func:`hash` because Python salts string
+    hashing per process — assignments must replay identically across
+    runs (and across the client/server boundary).
+    """
+    return zlib.crc32(docid.encode("utf-8")) % shard_count
+
+
+@dataclass
+class ShardedCorpus:
+    """One corpus split into disjoint shard stores, with routing data.
+
+    ``assignments`` maps every docid to its shard; ``global_order``
+    remembers each docid's ordinal in the *source* store, which is the
+    order a single unsharded server would return matches in.
+    """
+
+    source: DocumentStore
+    stores: List[DocumentStore]
+    assignments: Dict[str, int]
+    global_order: Dict[str, int]
+    scheme: str
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.stores)
+
+    def shard_of(self, docid: str) -> int:
+        """The shard holding ``docid``; unknown docids raise exactly as
+        an unsharded store's ``get`` would."""
+        try:
+            return self.assignments[docid]
+        except KeyError:
+            raise UnknownDocumentError(f"unknown docid {docid!r}") from None
+
+    def merge_results(self, partials: Sequence[ResultSet]) -> ResultSet:
+        """Union per-shard result sets into the single-server result.
+
+        Docids across shards are disjoint; the union is ordered by
+        global ordinal (documents indexed into a shard *after*
+        partitioning sort behind the snapshot, by shard order) and the
+        per-shard ``postings_processed`` counts are summed.
+        """
+        merged: List[tuple] = []
+        for shard, partial in enumerate(partials):
+            for docid, document in zip(partial.docids, partial.documents):
+                ordinal = self.global_order.get(docid)
+                key = (0, ordinal, 0) if ordinal is not None else (1, shard, len(merged))
+                merged.append((key, docid, document))
+        merged.sort(key=lambda entry: entry[0])
+        return ResultSet(
+            docids=tuple(docid for _, docid, _ in merged),
+            documents=tuple(document for _, _, document in merged),
+            postings_processed=sum(
+                partial.postings_processed for partial in partials
+            ),
+        )
+
+
+def partition_store(
+    store: DocumentStore, shards: int, scheme: str = "hash"
+) -> ShardedCorpus:
+    """Split ``store`` into ``shards`` disjoint stores.
+
+    ``hash`` assigns by a stable digest of the docid (placement survives
+    corpus growth); ``round_robin`` deals documents out in insertion
+    order (perfectly balanced for a static corpus).  Within every shard,
+    documents keep their relative source order, so each shard server's
+    result ordering is a subsequence of the global one.
+    """
+    if shards < 1:
+        raise TextSystemError("a sharded corpus needs at least one shard")
+    if scheme not in PARTITION_SCHEMES:
+        raise TextSystemError(
+            f"unknown partition scheme {scheme!r}; known: {list(PARTITION_SCHEMES)}"
+        )
+    stores = [
+        DocumentStore(store.field_names, short_fields=store.short_fields)
+        for _ in range(shards)
+    ]
+    assignments: Dict[str, int] = {}
+    global_order: Dict[str, int] = {}
+    for ordinal, document in enumerate(store):
+        if scheme == "hash":
+            shard = hash_shard_of(document.docid, shards)
+        else:
+            shard = ordinal % shards
+        # Re-add as a fresh Document so shard stores never alias the
+        # source's mutable field mappings.
+        stores[shard].add(Document(document.docid, dict(document.fields)))
+        assignments[document.docid] = shard
+        global_order[document.docid] = ordinal
+    return ShardedCorpus(
+        source=store,
+        stores=stores,
+        assignments=assignments,
+        global_order=global_order,
+        scheme=scheme,
+    )
+
+
+def build_shard_servers(
+    corpus: ShardedCorpus, term_limit: int = DEFAULT_TERM_LIMIT
+) -> List[BooleanTextServer]:
+    """One :class:`BooleanTextServer` per shard store, same term limit."""
+    return [BooleanTextServer(store, term_limit=term_limit) for store in corpus.stores]

@@ -129,6 +129,41 @@ class TestInvalidation:
         assert "d9" in {document.docid for document in result}
         assert client.cache.search.stats.invalidations == 1
 
+    def test_swapping_servers_a_b_a_never_serves_stale(self, tiny_store):
+        """Regression: two stores can sit at the same *numeric* version,
+        so a client retargeted A -> B -> A must invalidate on every swap
+        (the fingerprint is ``(store uid, version)``, not the bare
+        version counter)."""
+        from repro.textsys.documents import DocumentStore
+        from repro.textsys.server import BooleanTextServer
+
+        other = DocumentStore(
+            ["title", "author", "abstract", "year"],
+            short_fields=["title", "author", "year"],
+        )
+        for number in range(1, 5):  # same mutation count as tiny_store
+            other.add_record(
+                f"x{number}",
+                title=f"Belief paper {number}",
+                author="someone",
+                abstract="belief elsewhere",
+                year="2000",
+            )
+        server_a = BooleanTextServer(tiny_store)
+        server_b = BooleanTextServer(other)
+        assert tiny_store.version == other.version  # the collision
+
+        client = TextClient(server_a, cache=GatewayCache())
+        from_a = client.search("TI='belief'")
+        client.server = server_b
+        from_b = client.search("TI='belief'")
+        assert set(from_b.docids) == {"x1", "x2", "x3", "x4"}
+        client.server = server_a
+        again = client.search("TI='belief'")
+        assert again.docids == from_a.docids
+        assert client.cache.hits == 0  # every answer was re-fetched
+        assert client.cache.search.stats.invalidations == 2
+
     def test_validate_compares_versions_for_inequality(self):
         cache = GatewayCache()
         assert cache.validate(5) is True  # first observation
@@ -173,6 +208,29 @@ class TestBatchCaching:
         assert client.ledger.total == paid
         saved = client.ledger.seconds_saved - saved_before
         assert saved > client.ledger.constants.invocation
+
+    def test_duplicate_misses_in_one_batch_dispatch_once(self, tiny_server):
+        """Regression: identical queries missing together in one batch
+        must be deduped before dispatch — one server search, one charge —
+        with the shared answer fanned back out to every position."""
+        client = self._client(tiny_server, cache=GatewayCache())
+        before = tiny_server.counters.snapshot()
+        results = client.search_batch(
+            ["TI='belief'", "TI='belief'", "TI='systems'", "TI='belief'"]
+        )
+        assert (tiny_server.counters - before).searches == 2  # belief, systems
+        assert results[0].docids == results[1].docids == results[3].docids
+        reference = self._client(tiny_server, cache=GatewayCache())
+        reference.search_batch(["TI='belief'", "TI='systems'"])
+        assert client.ledger.total == pytest.approx(reference.ledger.total)
+
+    def test_duplicate_hits_still_count_as_hits(self, tiny_server):
+        client = self._client(tiny_server, cache=GatewayCache())
+        client.search("TI='belief'")
+        results = client.search_batch(["TI='belief'", "TI='belief'"])
+        assert results[0].docids == results[1].docids
+        assert client.cache.hits == 2
+        assert client.ledger.searches == 1  # no invocation went out
 
     def test_uncached_batch_accounting_is_unchanged(self, tiny_server):
         cached = self._client(tiny_server, cache=GatewayCache())

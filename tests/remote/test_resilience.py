@@ -1,5 +1,7 @@
 """Retry policy, circuit breaker, and the degradation knob."""
 
+import threading
+
 import pytest
 
 from repro.errors import GatewayError
@@ -126,6 +128,89 @@ class TestCircuitBreaker:
             CircuitBreaker(recovery_time=-1.0)
         with pytest.raises(GatewayError):
             CircuitBreaker(half_open_probes=0)
+
+    # -- half-open probe gating under concurrency (regression) ---------
+
+    def _tripped_half_open(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == BREAKER_HALF_OPEN
+        return breaker, clock
+
+    def _hold_probe_open(self, breaker):
+        """Admit a probe on a worker thread and keep it in flight."""
+        admitted = []
+        entered = threading.Event()
+        release = threading.Event()
+        outcome = {}
+
+        def probe():
+            admitted.append(breaker.allow())
+            entered.set()
+            release.wait(timeout=5.0)
+            if outcome.get("success", True):
+                breaker.record_success()
+            else:
+                breaker.record_failure()
+
+        worker = threading.Thread(target=probe)
+        worker.start()
+        assert entered.wait(timeout=5.0)
+        assert admitted == [True]
+        return worker, release, outcome
+
+    def test_stale_success_does_not_close_the_half_open_circuit(self):
+        """Regression: a call admitted *before* the trip can report its
+        success while the half-open probe is still in flight; that stale
+        outcome must not close the circuit (it would admit the whole
+        pool against a source only the probe is testing)."""
+        breaker, _ = self._tripped_half_open()
+        worker, release, _ = self._hold_probe_open(breaker)
+        breaker.record_success()  # stale: this thread was never admitted
+        assert breaker.state == BREAKER_HALF_OPEN
+        assert not breaker.allow()  # the probe slot is still taken
+        release.set()
+        worker.join(timeout=5.0)
+        assert breaker.state == BREAKER_CLOSED  # the probe itself ruled
+
+    def test_stale_failure_does_not_reopen_under_the_probe(self):
+        breaker, _ = self._tripped_half_open()
+        worker, release, _ = self._hold_probe_open(breaker)
+        breaker.record_failure()  # stale outcome from a pre-trip call
+        assert breaker.state == BREAKER_HALF_OPEN
+        release.set()
+        worker.join(timeout=5.0)
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_probe_failure_still_reopens_while_strays_report(self):
+        breaker, _ = self._tripped_half_open()
+        worker, release, outcome = self._hold_probe_open(breaker)
+        breaker.record_success()  # stray success first...
+        outcome["success"] = False  # ...then the probe itself fails
+        release.set()
+        worker.join(timeout=5.0)
+        assert breaker.state == BREAKER_OPEN
+
+    def test_exactly_one_concurrent_probe_admitted(self):
+        breaker, _ = self._tripped_half_open()
+        admitted = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def contend():
+            barrier.wait(timeout=5.0)
+            allowed = breaker.allow()
+            with lock:
+                admitted.append(allowed)
+
+        threads = [threading.Thread(target=contend) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert admitted.count(True) == 1
 
 
 class TestDegradationPolicy:

@@ -211,6 +211,56 @@ class TestCircuitBreaker:
         assert report["breaker_state"] == "closed"
         assert "channel" in report and report["channel"]["frames_delivered"] == 1
 
+    def test_concurrent_transition_drain_never_duplicates_or_drops(
+        self, tiny_server
+    ):
+        """Regression: the transport's transition drain (cursor read +
+        drain + advance) must be one atomic step.  Racing pool workers
+        used to read the same cursor, drain the same transitions twice,
+        and advance the cursor past transitions nobody had drained."""
+        import threading
+        import time as _time
+
+        class SlowDrainBreaker(CircuitBreaker):
+            """Widens the read-drain-advance window to force the race."""
+
+            def drain_transitions(self, seen):
+                _time.sleep(0.002)
+                return super().drain_transitions(seen)
+
+        breaker = SlowDrainBreaker(failure_threshold=1, recovery_time=0.0)
+        transport = make_transport(tiny_server, breaker=breaker)
+        for _ in range(4):  # closed->open, open->half-open, half-open->closed
+            breaker.record_failure()
+            assert breaker.allow()
+            breaker.record_success()
+        transitions_now = len(breaker.transitions)
+
+        threads = [
+            threading.Thread(target=transport._note_breaker) for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5.0)
+
+        _, events = transport.drain_accounting()
+        noted = [event for event in events if event.kind == "breaker"]
+        expected = [
+            f"{old} -> {new}"
+            for _, old, new in breaker.transitions[:transitions_now]
+        ]
+        assert [event.detail for event in noted] == expected  # no dupes
+        assert transport.stats.breaker_trips == 4
+
+        # And nothing was lost to an over-advanced cursor: transitions
+        # recorded after the contention drain exactly once.
+        breaker.record_failure()
+        transport._note_breaker()
+        _, events = transport.drain_accounting()
+        late = [event.detail for event in events if event.kind == "breaker"]
+        assert late == ["closed -> open"]
+
 
 class TestClientIntegration:
     """The acceptance criteria: same answers, same priced totals."""
