@@ -136,14 +136,34 @@ class _PlanRunner:
     def _doc_rows(
         self, documents: Sequence[Document], needed_fields: Sequence[str]
     ) -> List[Row]:
-        """Documents as pseudo-rows, upgrading to long form when needed."""
-        upgrade = self._needs_long_form(needed_fields)
-        rows = []
-        for document in documents:
-            if upgrade and set(document.fields) != set(self.field_names):
-                document = self.context.client.retrieve(document.docid)
-            rows.append(document_row(document, self.doc_schema, self.field_names))
-        return rows
+        """Documents as pseudo-rows, upgrading to long form when needed.
+
+        All upgrades go out as one ``retrieve_many`` instead of one
+        ``retrieve`` per document, so pooled/sharded transports overlap
+        the fetches; the charges are identical (one ``c_l`` per distinct
+        docid) because ``retrieve_many`` is itself per-docid metered.
+        """
+        documents = list(documents)
+        if self._needs_long_form(needed_fields):
+            all_fields = set(self.field_names)
+            missing = [
+                document.docid
+                for document in documents
+                if set(document.fields) != all_fields
+            ]
+            if missing:
+                upgraded = {
+                    document.docid: document
+                    for document in self.context.client.retrieve_many(missing)
+                }
+                documents = [
+                    upgraded.get(document.docid, document)
+                    for document in documents
+                ]
+        return [
+            document_row(document, self.doc_schema, self.field_names)
+            for document in documents
+        ]
 
     def _downstream_fields(self) -> List[str]:
         """Fields needed locally after documents are fetched."""
@@ -191,26 +211,59 @@ class _PlanRunner:
             if any(part is None for part in key):
                 continue
             groups.setdefault(key, []).append(row)
+        probes: List[Tuple[List[Row], object]] = []
+        for key, rows in groups.items():
+            representative = rows[0]
+            try:
+                instantiated = [
+                    data_term(
+                        predicate.field,
+                        str(representative[predicate.column]),
+                    )
+                    for predicate in plan.probe_predicates
+                ]
+            except SearchSyntaxError:
+                # Unindexable value (no words): the group can never join.
+                continue
+            probes.append((rows, and_all(selections + instantiated)))
         kept: List[Row] = []
-        with self.context.client.trace_phase("probe"):
-            for key, rows in groups.items():
-                representative = rows[0]
-                try:
-                    instantiated = [
-                        data_term(
-                            predicate.field,
-                            str(representative[predicate.column]),
-                        )
-                        for predicate in plan.probe_predicates
-                    ]
-                except SearchSyntaxError:
-                    # Unindexable value (no words): the group can never join.
-                    continue
-                if self.context.client.probe(
-                    and_all(selections + instantiated)
-                ):
-                    kept.extend(rows)
+        client = self.context.client
+        batch_size = self._probe_batch_size(len(probes))
+        with client.trace_phase("probe"):
+            if batch_size > 1:
+                # The server accepts multi-query invocations: send the
+                # instantiated probe expressions through search_batch in
+                # batch_limit-sized chunks.  Per-group kept/dropped
+                # semantics are unchanged — answers come back in query
+                # order, and a group survives iff its result is
+                # non-empty — but the c_i invocation cost amortizes over
+                # each chunk and pooled transports overlap the wire time.
+                for start in range(0, len(probes), batch_size):
+                    chunk = probes[start : start + batch_size]
+                    results = client.search_batch(
+                        [query for _, query in chunk]
+                    )
+                    for (rows, _), result in zip(chunk, results):
+                        if not result.is_empty:
+                            kept.extend(rows)
+            else:
+                for rows, query in probes:
+                    if client.probe(query):
+                        kept.extend(rows)
         return MaterializedInput(child.output_schema, kept)
+
+    def _probe_batch_size(self, probe_count: int) -> int:
+        """How many probes to send per invocation (1 = serial probes).
+
+        Batching needs a server with ``search_batch``; with fewer than
+        two probes the serial path is already optimal.
+        """
+        if probe_count < 2:
+            return 1
+        server = self.context.client.server
+        if getattr(server, "search_batch", None) is None:
+            return 1
+        return max(1, getattr(server, "batch_limit", 1))
 
     def _text_match_expression(self, predicate: TextJoinPredicate) -> Expression:
         return TextMatch(
@@ -278,16 +331,19 @@ class _PlanRunner:
         }
         needed.update(self._downstream_fields())
         schema = child.output_schema.concat(self.doc_schema)
-        rows: List[Row] = []
-        doc_row_cache: Dict[str, Row] = {}
-        upgrade_fields = sorted(needed)
+        # One _doc_rows call over the distinct fetched documents (first-
+        # occurrence order): any long-form upgrades batch through a
+        # single retrieve_many, with the same one-c_l-per-docid charges
+        # the old per-pair cache produced.
+        distinct: Dict[str, Document] = {}
         for pair in execution.pairs:
-            docid = pair.document.docid
-            if docid not in doc_row_cache:
-                doc_row_cache[docid] = self._doc_rows(
-                    [pair.document], upgrade_fields
-                )[0]
-            rows.append(pair.row.concat(doc_row_cache[docid]))
+            distinct.setdefault(pair.document.docid, pair.document)
+        doc_rows = self._doc_rows(list(distinct.values()), sorted(needed))
+        doc_row_cache: Dict[str, Row] = dict(zip(distinct.keys(), doc_rows))
+        rows: List[Row] = [
+            pair.row.concat(doc_row_cache[pair.document.docid])
+            for pair in execution.pairs
+        ]
         return MaterializedInput(schema, rows)
 
 

@@ -339,12 +339,66 @@ class TextClient:
         Duplicate docids are fetched — and charged — only once: the
         returned list carries one :class:`Document` per *distinct*
         requested docid, in first-occurrence order.
+
+        When the server exposes a ``retrieve_many`` of its own (remote
+        and sharded transports dispatch it over their worker pools), the
+        cache-missing docids travel as ONE batched call, so the fetches
+        overlap on the wire; per-docid charges, cache fills, and traced
+        spans are identical to the one-at-a-time path.  If the batched
+        call fails, nothing is charged (the per-call path charges each
+        document as it arrives).
         """
-        documents: Dict[str, Document] = {}
+        wanted: List[str] = []
+        seen = set()
         for docid in docids:
-            if docid not in documents:
-                documents[docid] = self.retrieve(docid)
-        return list(documents.values())
+            if docid not in seen:
+                seen.add(docid)
+                wanted.append(docid)
+        server_many = getattr(self.server, "retrieve_many", None)
+        if server_many is None or len(wanted) < 2:
+            return [self.retrieve(docid) for docid in wanted]
+
+        documents: Dict[str, Document] = {}
+        misses = wanted
+        if self.cache is not None:
+            self.cache.validate(self._data_version())
+            misses = []
+            for docid in wanted:
+                cached = self.cache.retrieve.get(docid)
+                if cached is None:
+                    misses.append(docid)
+                    continue
+                saved = self.ledger.constants.long_form
+                self.ledger.credit_saved(saved)
+                self.tracer.record(
+                    "retrieve",
+                    docid,
+                    result_size=1,
+                    postings_processed=0,
+                    cost=0.0,
+                    saved=saved,
+                    cache_hit=True,
+                )
+                documents[docid] = cached
+        if misses:
+            try:
+                fetched = server_many(misses)
+            finally:
+                self._settle_transport()
+            for docid, document in zip(misses, fetched):
+                cost = self.ledger.charge_retrieve()
+                if self.cache is not None:
+                    self.cache.retrieve.put(docid, document)
+                if self.tracer.enabled:
+                    self.tracer.record(
+                        "retrieve",
+                        docid,
+                        result_size=1,
+                        postings_processed=0,
+                        cost=cost,
+                    )
+                documents[docid] = document
+        return [documents[docid] for docid in wanted]
 
     # ------------------------------------------------------------------
     # probing and RTP support

@@ -456,6 +456,7 @@ def build_sharded_transport(
     batch_frame_size: int = 4,
     batch_limit: Optional[int] = None,
     term_limit: Optional[int] = None,
+    engine_mode: Optional[str] = None,
 ) -> ShardedTextTransport:
     """Partition a corpus and stand up the whole sharded service.
 
@@ -477,13 +478,19 @@ def build_sharded_transport(
         store = server_or_store.store
     if term_limit is None:
         term_limit = getattr(source_server, "term_limit", None)
+    if engine_mode is None:
+        # Shards inherit the source server's engine so the deployment
+        # change never swaps evaluation kernels underneath the caller.
+        engine_mode = getattr(source_server, "engine_mode", None)
     corpus = partition_store(store, shards, scheme=scheme)
     backends: List[ShardBackend] = []
     for shard_id, shard_store in enumerate(corpus.stores):
         shard_transports: List[RemoteTextTransport] = []
         for copy in range(1 + replicas):
             server_kwargs = {} if term_limit is None else {"term_limit": term_limit}
-            server = BooleanTextServer(shard_store, **server_kwargs)
+            server = BooleanTextServer(
+                shard_store, engine_mode=engine_mode, **server_kwargs
+            )
             shard_transports.append(
                 RemoteTextTransport(
                     server,

@@ -12,7 +12,14 @@ from repro.textsys.batching import DEFAULT_BATCH_LIMIT, BatchingTextServer
 from repro.textsys.persistence import load_store, save_store
 from repro.textsys.vector import ScoredDocument, VectorSpaceEngine
 from repro.textsys.documents import Document, DocumentStore
-from repro.textsys.engine import EvaluationResult, evaluate, matches_document
+from repro.textsys.engine import (
+    ENGINE_MODE_ENV,
+    ENGINE_MODES,
+    EvaluationResult,
+    evaluate,
+    matches_document,
+    resolve_engine_mode,
+)
 from repro.textsys.inverted_index import InvertedIndex
 from repro.textsys.parser import DEFAULT_FIELD_CODES, parse_search
 from repro.textsys.postings import (
@@ -20,9 +27,13 @@ from repro.textsys.postings import (
     PostingList,
     difference,
     intersect,
+    intersect_linear,
+    intersect_many,
     positional_intersect,
     union,
+    union_many,
 )
+from repro.textsys.rewriter import RewriteResult, estimated_result_size, rewrite
 from repro.textsys.query import (
     AndQuery,
     NotQuery,
@@ -53,9 +64,18 @@ __all__ = [
     "Posting",
     "PostingList",
     "intersect",
+    "intersect_linear",
+    "intersect_many",
     "union",
+    "union_many",
     "difference",
     "positional_intersect",
+    "ENGINE_MODES",
+    "ENGINE_MODE_ENV",
+    "resolve_engine_mode",
+    "RewriteResult",
+    "rewrite",
+    "estimated_result_size",
     "SearchNode",
     "TermQuery",
     "PhraseQuery",

@@ -77,6 +77,9 @@ class BatchingTextServer:
     def retrieve(self, docid: str):
         return self.server.retrieve(docid)
 
+    def retrieve_many(self, docids: Sequence[str]):
+        return self.server.retrieve_many(docids)
+
     def document_frequency(self, field: str, term: str) -> int:
         return self.server.document_frequency(field, term)
 

@@ -14,13 +14,14 @@ postings "read from disk" in the paper's model).
 from __future__ import annotations
 
 import bisect
+from array import array
 from collections import defaultdict
 from typing import Dict, List, Tuple
 
 from repro.errors import UnknownFieldError
 from repro.textsys.analysis import tokenize_with_positions
 from repro.textsys.documents import DocumentStore
-from repro.textsys.postings import Posting, PostingList
+from repro.textsys.postings import PostingList
 
 __all__ = ["InvertedIndex"]
 
@@ -82,11 +83,14 @@ class InvertedIndex:
                     positions.append(position)
         for field, terms in accumulator.items():
             for term, docs in terms.items():
-                postings = [
-                    Posting(ordinal, tuple(sorted(positions)))
-                    for ordinal, positions in sorted(docs.items())
-                ]
-                self._lists[field][term] = PostingList(postings)
+                ordered = sorted(docs.items())
+                doc_array = array("q", (ordinal for ordinal, _ in ordered))
+                positions = tuple(
+                    tuple(sorted(entry)) for _, entry in ordered
+                )
+                self._lists[field][term] = PostingList._from_sorted(
+                    doc_array, positions
+                )
             self._vocabulary[field] = sorted(self._lists[field])
         self.version = self.store.version
 
@@ -122,7 +126,7 @@ class InvertedIndex:
 
     def all_docs(self) -> PostingList:
         """A posting list naming every document (for NOT complements)."""
-        return PostingList.from_docs(range(self.document_count))
+        return PostingList._from_sorted(array("q", range(self.document_count)))
 
     # ------------------------------------------------------------------
     # lookups
@@ -170,6 +174,35 @@ class InvertedIndex:
     def document_frequency(self, field: str, term: str) -> int:
         """Number of documents whose ``field`` contains ``term``."""
         return len(self.lookup(field, term))
+
+    # ------------------------------------------------------------------
+    # charge-free metadata (the in-memory directory)
+    # ------------------------------------------------------------------
+    def list_length(self, field: str, term: str) -> int:
+        """The length of one inverted list, from the directory alone.
+
+        Unlike :meth:`lookup`/:meth:`document_frequency`, this charges
+        *no* page reads: per the [DH91] storage model the main-memory
+        directory already knows every list's length without touching
+        disk.  The query rewriter uses it to order conjuncts by document
+        frequency before any list is actually retrieved.
+        """
+        self._check_field(field)
+        postings = self._lists[field].get(term)
+        return 0 if postings is None else len(postings)
+
+    def prefix_terms(self, field: str, prefix: str) -> List[str]:
+        """The vocabulary terms a truncated search expands to (no charge)."""
+        self._check_field(field)
+        vocabulary = self._vocabulary[field]
+        start = bisect.bisect_left(vocabulary, prefix)
+        out: List[str] = []
+        for index in range(start, len(vocabulary)):
+            term = vocabulary[index]
+            if not term.startswith(prefix):
+                break
+            out.append(term)
+        return out
 
     def vocabulary(self, field: str) -> List[str]:
         """The sorted vocabulary of one field."""

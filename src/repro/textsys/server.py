@@ -17,11 +17,11 @@ invocations, postings processed, and documents transmitted in each form.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.errors import SearchLimitExceeded, TextSystemError
 from repro.textsys.documents import Document, DocumentStore
-from repro.textsys.engine import evaluate
+from repro.textsys.engine import evaluate, resolve_engine_mode
 from repro.textsys.inverted_index import InvertedIndex
 from repro.textsys.parser import parse_search
 from repro.textsys.query import SearchNode
@@ -88,11 +88,17 @@ class BooleanTextServer:
         self,
         store: DocumentStore,
         term_limit: int = DEFAULT_TERM_LIMIT,
+        engine_mode: Optional[str] = None,
     ) -> None:
         if term_limit < 1:
             raise TextSystemError("term limit must be at least 1")
         self.store = store
         self.term_limit = term_limit
+        #: Which evaluation engine serves searches (``reference`` keeps
+        #: the linear-merge oracle; ``optimized`` is charge-identical —
+        #: see DESIGN.md "Engine kernels").  Defaults to the process-wide
+        #: mode (``REPRO_ENGINE_MODE`` or ``optimized``).
+        self.engine_mode = resolve_engine_mode(engine_mode)
         self.index = InvertedIndex(store)
         self.counters = ServerCounters()
 
@@ -139,8 +145,9 @@ class BooleanTextServer:
             raise SearchLimitExceeded(
                 f"search uses {used} basic terms; the limit is {self.term_limit}"
             )
-        outcome = evaluate(self.index, query)
-        docids = tuple(self.index.docid_of(posting.doc) for posting in outcome.postings)
+        outcome = evaluate(self.index, query, mode=self.engine_mode)
+        docid_of = self.index.docid_of
+        docids = tuple(docid_of(doc) for doc in outcome.postings.doc_array)
         documents = tuple(
             self.store.get(docid).short_form(self.store.short_fields)
             for docid in docids

@@ -29,9 +29,10 @@ individually (their versions feed the merged ``data_fingerprint``).
 
 from __future__ import annotations
 
+import heapq
 import zlib
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import TextSystemError, UnknownDocumentError
 from repro.textsys.documents import Document, DocumentStore
@@ -94,14 +95,42 @@ class ShardedCorpus:
         global ordinal (documents indexed into a shard *after*
         partitioning sort behind the snapshot, by shard order) and the
         per-shard ``postings_processed`` counts are summed.
+
+        Each shard returns matches in its own indexing order, which is a
+        subsequence of the global order followed by any post-snapshot
+        additions — i.e. already sorted by the merge key.  The scatter
+        path therefore k-way heap-merges the per-shard streams in
+        ``O(N log S)`` instead of materializing and re-sorting the
+        union; a shard stream that is *not* key-sorted (a mutated-then-
+        rebuilt shard) falls back to the original sort.
         """
-        merged: List[tuple] = []
+        get_order = self.global_order.get
+        streams: List[List[tuple]] = []
+        presorted = True
+        sequence = 0
         for shard, partial in enumerate(partials):
+            stream: List[tuple] = []
             for docid, document in zip(partial.docids, partial.documents):
-                ordinal = self.global_order.get(docid)
-                key = (0, ordinal, 0) if ordinal is not None else (1, shard, len(merged))
-                merged.append((key, docid, document))
-        merged.sort(key=lambda entry: entry[0])
+                ordinal = get_order(docid)
+                key = (
+                    (0, ordinal, 0)
+                    if ordinal is not None
+                    else (1, shard, sequence)
+                )
+                sequence += 1
+                if stream and key < stream[-1][0]:
+                    presorted = False
+                stream.append((key, docid, document))
+            if stream:
+                streams.append(stream)
+        if presorted and len(streams) > 1:
+            merged: List[tuple] = list(
+                heapq.merge(*streams, key=lambda entry: entry[0])
+            )
+        else:
+            merged = [entry for stream in streams for entry in stream]
+            if not presorted or len(streams) > 1:
+                merged.sort(key=lambda entry: entry[0])
         return ResultSet(
             docids=tuple(docid for _, docid, _ in merged),
             documents=tuple(document for _, _, document in merged),
@@ -154,7 +183,17 @@ def partition_store(
 
 
 def build_shard_servers(
-    corpus: ShardedCorpus, term_limit: int = DEFAULT_TERM_LIMIT
+    corpus: ShardedCorpus,
+    term_limit: int = DEFAULT_TERM_LIMIT,
+    engine_mode: Optional[str] = None,
 ) -> List[BooleanTextServer]:
-    """One :class:`BooleanTextServer` per shard store, same term limit."""
-    return [BooleanTextServer(store, term_limit=term_limit) for store in corpus.stores]
+    """One :class:`BooleanTextServer` per shard store, same term limit.
+
+    All shards run the same evaluation engine (``engine_mode``); mixing
+    modes would still merge to identical answers — the engines are
+    charge-identical — but a uniform fleet keeps wall-clock predictable.
+    """
+    return [
+        BooleanTextServer(store, term_limit=term_limit, engine_mode=engine_mode)
+        for store in corpus.stores
+    ]

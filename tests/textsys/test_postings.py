@@ -1,15 +1,21 @@
 """Unit + property tests for posting lists and sorted-list merges."""
 
+from functools import reduce
+
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.textsys.postings import (
+    GALLOP_RATIO,
     Posting,
     PostingList,
     difference,
     intersect,
+    intersect_linear,
+    intersect_many,
     positional_intersect,
     union,
+    union_many,
 )
 
 doc_sets = st.lists(st.integers(0, 50), unique=True, max_size=20).map(sorted)
@@ -99,3 +105,79 @@ def test_merge_algebra(a, b, c):
     left = intersect(pa, union(pb, pc))
     right = union(intersect(pa, pb), intersect(pa, pc))
     assert left.docs() == right.docs()
+
+
+# ----------------------------------------------------------------------
+# accelerated kernels == linear kernels
+# ----------------------------------------------------------------------
+class TestGallopingIntersect:
+    """Skewed pairs take the galloping path; output must not change."""
+
+    def test_skewed_pair_gallops_correctly(self):
+        small = plist([3, 500, 999, 2001])
+        large = plist(range(0, 3000, 3))
+        assert len(large) >= GALLOP_RATIO * len(small)  # galloping path
+        assert intersect(small, large).docs() == [3, 999, 2001]
+        assert intersect(large, small).docs() == [3, 999, 2001]
+
+    def test_small_list_past_end_of_large(self):
+        small = plist([100, 200])
+        large = plist(range(0, 50))
+        assert len(large) >= GALLOP_RATIO * len(small)
+        assert intersect(small, large).docs() == []
+
+    @given(st.lists(st.integers(0, 30), unique=True, max_size=3).map(sorted))
+    def test_gallop_matches_sets_against_long_list(self, small):
+        large = plist(range(0, 400, 2))
+        result = intersect(plist(small), large).docs()
+        assert result == sorted(set(small) & set(range(0, 400, 2)))
+
+    @given(doc_sets, doc_sets)
+    def test_dispatching_intersect_equals_pinned_linear(self, left, right):
+        l, r = plist(left), plist(right)
+        assert intersect(l, r).docs() == intersect_linear(l, r).docs()
+
+
+class TestKWayKernels:
+    def test_union_many_of_none_is_empty(self):
+        assert union_many([]).docs() == []
+
+    def test_union_many_matches_pairwise_fold(self):
+        lists = [plist([1, 5]), plist([2, 5, 9]), plist([]), plist([0, 9])]
+        folded = reduce(union, lists)
+        assert union_many(lists).docs() == folded.docs()
+
+    def test_intersect_many_requires_lists(self):
+        with pytest.raises(ValueError):
+            intersect_many([])
+
+    @given(st.lists(doc_sets, min_size=1, max_size=6))
+    def test_kway_kernels_match_python_sets(self, doc_lists):
+        lists = [plist(docs) for docs in doc_lists]
+        union_expected = sorted(set().union(*map(set, doc_lists)))
+        intersect_expected = sorted(
+            set.intersection(*map(set, doc_lists))
+        ) if all(doc_lists) else []
+        assert union_many(lists).docs() == union_expected
+        assert intersect_many(lists).docs() == intersect_expected
+
+
+class TestArrayBackedRepresentation:
+    def test_positions_materialized_only_when_present(self):
+        bare = plist([1, 2, 3])
+        assert bare.positions_at(1) == ()
+        positional = PostingList([Posting(1, (4, 7))])
+        assert positional.positions_at(0) == (4, 7)
+
+    def test_without_positions_shares_docids(self):
+        positional = PostingList([Posting(1, (4,)), Posting(2, (5,))])
+        stripped = positional.without_positions()
+        assert stripped.docs() == [1, 2]
+        assert stripped.positions_at(0) == ()
+        assert stripped == plist([1, 2])  # positions-free equality
+
+    def test_merges_drop_positions(self):
+        left = PostingList([Posting(1, (0,)), Posting(2, (3,))])
+        right = PostingList([Posting(2, (8,))])
+        assert intersect(left, right)[0].positions == ()
+        assert union(left, right)[0].positions == ()

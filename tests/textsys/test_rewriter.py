@@ -1,0 +1,147 @@
+"""Unit tests for the search-expression rewriter (optimized engine)."""
+
+import pytest
+
+from repro.errors import SearchSyntaxError
+from repro.textsys.documents import Document, DocumentStore
+from repro.textsys.inverted_index import InvertedIndex
+from repro.textsys.query import (
+    AndQuery,
+    NotQuery,
+    OrQuery,
+    TermQuery,
+    TruncatedQuery,
+)
+from repro.textsys.rewriter import estimated_result_size, rewrite
+
+
+@pytest.fixture
+def index():
+    store = DocumentStore(["title"])
+    # 'common' in 4 docs, 'mid' in 2, 'rare' in 1.
+    store.add(Document("d0", {"title": "common mid rare"}))
+    store.add(Document("d1", {"title": "common mid"}))
+    store.add(Document("d2", {"title": "common"}))
+    store.add(Document("d3", {"title": "common"}))
+    return InvertedIndex(store)
+
+
+def term(word):
+    return TermQuery("title", word)
+
+
+class TestFlattening:
+    def test_nested_ors_flatten(self, index):
+        nested = OrQuery(
+            (OrQuery((term("common"), term("mid"))), term("rare"))
+        )
+        result = rewrite(index, nested)
+        assert isinstance(result.node, OrQuery)
+        assert len(result.node.operands) == 3
+        assert result.duplicates == ()
+
+    def test_nested_ands_flatten(self, index):
+        nested = AndQuery(
+            (AndQuery((term("common"), term("mid"))), term("rare"))
+        )
+        result = rewrite(index, nested)
+        assert isinstance(result.node, AndQuery)
+        assert len(result.node.operands) == 3
+
+    def test_mixed_connectives_do_not_flatten(self, index):
+        mixed = AndQuery((OrQuery((term("common"), term("mid"))), term("rare")))
+        result = rewrite(index, mixed)
+        assert isinstance(result.node, AndQuery)
+        assert len(result.node.operands) == 2
+
+    def test_single_operand_connective_collapses(self, index):
+        result = rewrite(index, AndQuery((term("rare"),)))
+        assert result.node == term("rare")
+
+
+class TestDeduplication:
+    def test_duplicate_terms_dropped_and_recorded(self, index):
+        node = OrQuery((term("common"), term("common"), term("mid")))
+        result = rewrite(index, node)
+        assert len(result.node.operands) == 2
+        assert result.duplicates == (term("common"),)
+
+    def test_duplicates_across_nesting_levels(self, index):
+        node = OrQuery((OrQuery((term("mid"), term("rare"))), term("mid")))
+        result = rewrite(index, node)
+        assert len(result.node.operands) == 2
+        assert result.duplicates == (term("mid"),)
+
+    def test_duplicate_subtrees_in_and(self, index):
+        subtree = OrQuery((term("mid"), term("rare")))
+        node = AndQuery((subtree, subtree))
+        result = rewrite(index, node)
+        assert result.node == subtree  # AND of one operand collapses
+        assert result.duplicates == (subtree,)
+
+
+class TestConjunctOrdering:
+    def test_smallest_list_first(self, index):
+        node = AndQuery((term("common"), term("rare"), term("mid")))
+        result = rewrite(index, node)
+        assert result.node.operands == (
+            term("rare"),
+            term("mid"),
+            term("common"),
+        )
+
+    def test_not_operands_pushed_last(self, index):
+        node = AndQuery((NotQuery(term("rare")), term("common")))
+        result = rewrite(index, node)
+        assert result.node.operands == (
+            term("common"),
+            NotQuery(term("rare")),
+        )
+
+    def test_ordering_recurses_into_or_members(self, index):
+        node = OrQuery(
+            (AndQuery((term("common"), term("rare"))), term("mid"))
+        )
+        result = rewrite(index, node)
+        inner = result.node.operands[0]
+        assert isinstance(inner, AndQuery)
+        assert inner.operands == (term("rare"), term("common"))
+
+
+class TestEstimates:
+    def test_term_estimate_is_document_frequency(self, index):
+        assert estimated_result_size(index, term("common")) == 4
+        assert estimated_result_size(index, term("rare")) == 1
+        assert estimated_result_size(index, term("zzz")) == 0
+
+    def test_truncated_estimate_sums_expansions(self, index):
+        # 'common' (4) + ... no other 'co' terms
+        assert estimated_result_size(index, TruncatedQuery("title", "co")) == 4
+
+    def test_and_or_not_estimates(self, index):
+        conj = AndQuery((term("common"), term("rare")))
+        disj = OrQuery((term("mid"), term("rare")))
+        assert estimated_result_size(index, conj) == 1
+        assert estimated_result_size(index, disj) == 3
+        assert estimated_result_size(index, NotQuery(term("common"))) == 0
+
+    def test_estimates_charge_nothing(self, index):
+        pages_before = index.pages_read
+        estimated_result_size(
+            index, AndQuery((term("common"), TruncatedQuery("title", "m")))
+        )
+        assert index.pages_read == pages_before
+
+
+class TestMalformedConnectives:
+    def test_zero_operand_and_rejected(self, index):
+        bad = AndQuery.__new__(AndQuery)
+        object.__setattr__(bad, "operands", ())
+        with pytest.raises(SearchSyntaxError):
+            rewrite(index, bad)
+
+    def test_zero_operand_or_rejected(self, index):
+        bad = OrQuery.__new__(OrQuery)
+        object.__setattr__(bad, "operands", ())
+        with pytest.raises(SearchSyntaxError):
+            rewrite(index, bad)
