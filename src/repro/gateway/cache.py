@@ -31,6 +31,7 @@ bit-identical), which keeps the paper-calibrated measurements honest.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Generic, Optional, TypeVar
@@ -97,6 +98,14 @@ class LruCache(Generic[V]):
 
     ``get`` refreshes recency; ``put`` evicts the oldest entry once the
     capacity is exceeded.  Lookup statistics accumulate in ``stats``.
+
+    Safe to share across threads: the recency bookkeeping
+    (``move_to_end`` on the backing :class:`OrderedDict`, eviction via
+    ``popitem``) and the hit/miss counters mutate under one internal
+    lock.  Unlocked, two concurrent ``get``/``put`` calls can interleave
+    inside ``move_to_end``/``popitem`` and raise ``KeyError`` (entry
+    evicted between the membership check and the move) or corrupt the
+    statistics — the races the serving front-end's shared caches hit.
     """
 
     def __init__(self, capacity: int) -> None:
@@ -104,38 +113,45 @@ class LruCache(Generic[V]):
             raise GatewayError("cache capacity must be at least 1")
         self.capacity = capacity
         self.stats = CacheStats()
+        self._lock = threading.Lock()
         self._entries: "OrderedDict[str, V]" = OrderedDict()
 
     def get(self, key: str) -> Optional[V]:
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
 
     def peek(self, key: str) -> Optional[V]:
         """Like :meth:`get` but without touching recency or statistics."""
-        return self._entries.get(key)
+        with self._lock:
+            return self._entries.get(key)
 
     def put(self, key: str, value: V) -> None:
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __repr__(self) -> str:
         return (
@@ -174,6 +190,17 @@ class GatewayCache:
     validate with the server's ``data_fingerprint`` — a
     ``(store uid, version)`` pair (or a tuple of per-shard pairs on a
     sharded service) — whenever the server publishes one.
+
+    **Concurrency.**  Validation is a check-then-act on the observed
+    version, so it runs under its own lock: of two threads observing
+    the same version bump, exactly one flushes (and records the
+    invalidation) — unlocked, both could flush, double-counting
+    invalidations, or one could swap ``_seen_version`` forward while
+    the other still races the flush.  Cache *fills* are version-stamped
+    (:meth:`put_search` / :meth:`put_retrieve`): a result fetched under
+    version ``v`` is dropped instead of inserted when the observed
+    version has moved past ``v`` by fill time, so a slow fetch can
+    never plant a stale entry behind a newer validation.
     """
 
     def __init__(
@@ -183,31 +210,62 @@ class GatewayCache:
     ) -> None:
         self.search = SearchCache(search_capacity)
         self.retrieve = RetrieveCache(retrieve_capacity)
+        self._lock = threading.Lock()
         self._seen_version: Optional[Any] = None
 
     def validate(self, data_version: Any) -> bool:
-        """Drop everything if the backing data moved; True when still valid."""
-        if self._seen_version == data_version:
+        """Drop everything if the backing data moved; True when still valid.
+
+        Atomic: the stale check, the flush of both caches, and the
+        version swap form one step under the validator lock.
+        """
+        with self._lock:
+            if self._seen_version == data_version:
+                return True
+            stale = self._seen_version is not None
+            if stale:
+                # Each cache records its own invalidation only when it
+                # actually held entries to drop — an empty cache was not
+                # invalidated in any observable sense.
+                if len(self.search):
+                    self.search.stats.invalidations += 1
+                if len(self.retrieve):
+                    self.retrieve.stats.invalidations += 1
+                self.search.clear()
+                self.retrieve.clear()
+            self._seen_version = data_version
+            return not stale
+
+    def put_search(self, expression: str, result: Any, data_version: Any) -> bool:
+        """Insert a search result fetched under ``data_version``.
+
+        Returns False (and inserts nothing) when the observed version
+        has moved since the fetch began — the result describes data
+        that no longer exists, and caching it would serve stale answers
+        under the *new* version.
+        """
+        with self._lock:
+            if self._seen_version != data_version:
+                return False
+            self.search.put(expression, result)
             return True
-        stale = self._seen_version is not None
-        if stale:
-            # Each cache records its own invalidation only when it
-            # actually held entries to drop — an empty cache was not
-            # invalidated in any observable sense.
-            if len(self.search):
-                self.search.stats.invalidations += 1
-            if len(self.retrieve):
-                self.retrieve.stats.invalidations += 1
-            self.search.clear()
-            self.retrieve.clear()
-        self._seen_version = data_version
-        return not stale
+
+    def put_retrieve(self, docid: str, document: Any, data_version: Any) -> bool:
+        """Insert a long-form document fetched under ``data_version``
+        (dropped when the observed version has moved — see
+        :meth:`put_search`)."""
+        with self._lock:
+            if self._seen_version != data_version:
+                return False
+            self.retrieve.put(docid, document)
+            return True
 
     def clear(self) -> None:
         """Drop all entries and forget the observed version (stats kept)."""
-        self.search.clear()
-        self.retrieve.clear()
-        self._seen_version = None
+        with self._lock:
+            self.search.clear()
+            self.retrieve.clear()
+            self._seen_version = None
 
     @property
     def hits(self) -> int:

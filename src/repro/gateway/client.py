@@ -63,9 +63,18 @@ class TextClient:
         log_calls: bool = False,
         cache: Optional[GatewayCache] = None,
         tracer: Optional[CallTracer] = None,
+        ledger: Optional[CostLedger] = None,
     ) -> None:
         self.server = server
-        self.ledger = CostLedger(constants=constants or CostConstants())
+        #: An explicit ``ledger`` lets several clients charge one shared
+        #: (thread-safe) ledger — the serving front-end accumulates every
+        #: query a tenant runs into that tenant's budgeted ledger this
+        #: way.  When given, it wins over ``constants``.
+        self.ledger = (
+            ledger
+            if ledger is not None
+            else CostLedger(constants=constants or CostConstants())
+        )
         self.cache = cache
         self.tracer = tracer if tracer is not None else CallTracer(enabled=log_calls)
 
@@ -162,8 +171,10 @@ class TextClient:
 
     def _metered_search(self, query: Union[SearchNode, str], kind: str) -> ResultSet:
         query, expression = self._canonical(query)
+        version = None
         if self.cache is not None:
-            self.cache.validate(self._data_version())
+            version = self._data_version()
+            self.cache.validate(version)
             cached = self.cache.search.get(expression)
             if cached is not None:
                 saved = self.ledger.constants.search_cost(
@@ -186,7 +197,8 @@ class TextClient:
             self._settle_transport()
         cost = self.ledger.charge_search(result.postings_processed, len(result))
         if self.cache is not None:
-            self.cache.search.put(expression, result)
+            # Version-stamped fill: dropped if the data moved mid-fetch.
+            self.cache.put_search(expression, result, version)
         if self.tracer.enabled:
             self.tracer.record(
                 kind,
@@ -231,7 +243,8 @@ class TextClient:
             )
             return results
 
-        self.cache.validate(self._data_version())
+        version = self._data_version()
+        self.cache.validate(version)
         canonical = [self._canonical(query) for query in queries]
         results: List[Optional[ResultSet]] = []
         misses: List[Tuple[int, Union[SearchNode, str], str]] = []
@@ -268,7 +281,7 @@ class TextClient:
             for (_, expression), result in zip(distinct, fetched):
                 for index in miss_positions[expression]:
                     results[index] = result
-                self.cache.search.put(expression, result)
+                self.cache.put_search(expression, result, version)
 
         # What the batch would have cost without the cache, minus what
         # was actually paid: the hits' processing/transmission shares,
@@ -304,8 +317,10 @@ class TextClient:
 
     def retrieve(self, docid: str) -> Document:
         """Fetch one long-form document; charges ``c_l`` (0 on a cache hit)."""
+        version = None
         if self.cache is not None:
-            self.cache.validate(self._data_version())
+            version = self._data_version()
+            self.cache.validate(version)
             cached = self.cache.retrieve.get(docid)
             if cached is not None:
                 saved = self.ledger.constants.long_form
@@ -326,7 +341,7 @@ class TextClient:
             self._settle_transport()
         cost = self.ledger.charge_retrieve()
         if self.cache is not None:
-            self.cache.retrieve.put(docid, document)
+            self.cache.put_retrieve(docid, document, version)
         if self.tracer.enabled:
             self.tracer.record(
                 "retrieve", docid, result_size=1, postings_processed=0, cost=cost
@@ -360,8 +375,10 @@ class TextClient:
 
         documents: Dict[str, Document] = {}
         misses = wanted
+        version = None
         if self.cache is not None:
-            self.cache.validate(self._data_version())
+            version = self._data_version()
+            self.cache.validate(version)
             misses = []
             for docid in wanted:
                 cached = self.cache.retrieve.get(docid)
@@ -388,7 +405,7 @@ class TextClient:
             for docid, document in zip(misses, fetched):
                 cost = self.ledger.charge_retrieve()
                 if self.cache is not None:
-                    self.cache.retrieve.put(docid, document)
+                    self.cache.put_retrieve(docid, document, version)
                 if self.tracer.enabled:
                     self.tracer.record(
                         "retrieve",

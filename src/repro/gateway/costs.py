@@ -22,6 +22,7 @@ short field is far cheaper than any remote operation).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.errors import GatewayError
@@ -80,6 +81,14 @@ class CostLedger:
     :mod:`repro.remote.transport`).  Keeping waste out of ``total``
     preserves the Section 4.1 identity exactly while still making retry
     overhead observable next to the ``c_i``-dominated link costs.
+
+    The ledger is safe to share across threads: pooled transports and
+    the concurrent serving front-end charge one ledger from many worker
+    threads, and every mutation (and every multi-field read —
+    ``snapshot``, ``diff``, ``total``) holds an internal re-entrant
+    lock.  Counts are integers, so a locked ledger accumulates the same
+    values in any interleaving and ``total`` stays bit-identical to a
+    serial run of the same charges.
     """
 
     constants: CostConstants = field(default_factory=CostConstants)
@@ -90,31 +99,40 @@ class CostLedger:
     rtp_documents: int = 0
     seconds_saved: float = 0.0
     seconds_retried: float = 0.0
+    # Re-entrant so subclasses (the serving layer's budgeted ledger) can
+    # enforce limits atomically around a charge.
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, init=False, repr=False, compare=False
+    )
 
     def charge_search(self, postings_processed: int, result_size: int) -> float:
         """Record one search invocation; returns its cost."""
-        self.searches += 1
-        self.postings_processed += postings_processed
-        self.short_documents += result_size
+        with self._lock:
+            self.searches += 1
+            self.postings_processed += postings_processed
+            self.short_documents += result_size
         return self.constants.search_cost(postings_processed, result_size)
 
     def charge_retrieve(self) -> float:
         """Record one long-form retrieval; returns its cost."""
-        self.long_documents += 1
+        with self._lock:
+            self.long_documents += 1
         return self.constants.long_form
 
     def charge_rtp(self, document_count: int) -> float:
         """Record relational text processing over ``document_count`` docs."""
         if document_count < 0:
             raise GatewayError("document count must be non-negative")
-        self.rtp_documents += document_count
+        with self._lock:
+            self.rtp_documents += document_count
         return self.constants.rtp_per_document * document_count
 
     def credit_saved(self, seconds: float) -> float:
         """Record simulated seconds a cache hit avoided (not in ``total``)."""
         if seconds < 0:
             raise GatewayError("saved seconds must be non-negative")
-        self.seconds_saved += seconds
+        with self._lock:
+            self.seconds_saved += seconds
         return seconds
 
     def charge_retry_waste(self, seconds: float) -> float:
@@ -125,67 +143,74 @@ class CostLedger:
         """
         if seconds < 0:
             raise GatewayError("retried seconds must be non-negative")
-        self.seconds_retried += seconds
+        with self._lock:
+            self.seconds_retried += seconds
         return seconds
 
     @property
     def total(self) -> float:
         """Total simulated cost in seconds."""
         constants = self.constants
-        return (
-            constants.invocation * self.searches
-            + constants.per_posting * self.postings_processed
-            + constants.short_form * self.short_documents
-            + constants.long_form * self.long_documents
-            + constants.rtp_per_document * self.rtp_documents
-        )
+        with self._lock:
+            return (
+                constants.invocation * self.searches
+                + constants.per_posting * self.postings_processed
+                + constants.short_form * self.short_documents
+                + constants.long_form * self.long_documents
+                + constants.rtp_per_document * self.rtp_documents
+            )
 
     def reset(self) -> None:
-        self.searches = 0
-        self.postings_processed = 0
-        self.short_documents = 0
-        self.long_documents = 0
-        self.rtp_documents = 0
-        self.seconds_saved = 0.0
-        self.seconds_retried = 0.0
+        with self._lock:
+            self.searches = 0
+            self.postings_processed = 0
+            self.short_documents = 0
+            self.long_documents = 0
+            self.rtp_documents = 0
+            self.seconds_saved = 0.0
+            self.seconds_retried = 0.0
 
     def snapshot(self) -> "CostLedger":
         """An independent copy of the current state."""
-        return CostLedger(
-            constants=self.constants,
-            searches=self.searches,
-            postings_processed=self.postings_processed,
-            short_documents=self.short_documents,
-            long_documents=self.long_documents,
-            rtp_documents=self.rtp_documents,
-            seconds_saved=self.seconds_saved,
-            seconds_retried=self.seconds_retried,
-        )
+        with self._lock:
+            return CostLedger(
+                constants=self.constants,
+                searches=self.searches,
+                postings_processed=self.postings_processed,
+                short_documents=self.short_documents,
+                long_documents=self.long_documents,
+                rtp_documents=self.rtp_documents,
+                seconds_saved=self.seconds_saved,
+                seconds_retried=self.seconds_retried,
+            )
 
     def diff(self, earlier: "CostLedger") -> "CostLedger":
         """The work done since ``earlier`` (a snapshot of this ledger)."""
-        return CostLedger(
-            constants=self.constants,
-            searches=self.searches - earlier.searches,
-            postings_processed=self.postings_processed - earlier.postings_processed,
-            short_documents=self.short_documents - earlier.short_documents,
-            long_documents=self.long_documents - earlier.long_documents,
-            rtp_documents=self.rtp_documents - earlier.rtp_documents,
-            seconds_saved=self.seconds_saved - earlier.seconds_saved,
-            seconds_retried=self.seconds_retried - earlier.seconds_retried,
-        )
+        with self._lock:
+            return CostLedger(
+                constants=self.constants,
+                searches=self.searches - earlier.searches,
+                postings_processed=self.postings_processed
+                - earlier.postings_processed,
+                short_documents=self.short_documents - earlier.short_documents,
+                long_documents=self.long_documents - earlier.long_documents,
+                rtp_documents=self.rtp_documents - earlier.rtp_documents,
+                seconds_saved=self.seconds_saved - earlier.seconds_saved,
+                seconds_retried=self.seconds_retried - earlier.seconds_retried,
+            )
 
     def report(self) -> dict:
         """JSON-friendly accounting report (counts, total, seconds saved)."""
+        state = self.snapshot()
         return {
-            "searches": self.searches,
-            "postings_processed": self.postings_processed,
-            "short_documents": self.short_documents,
-            "long_documents": self.long_documents,
-            "rtp_documents": self.rtp_documents,
-            "total": self.total,
-            "seconds_saved": self.seconds_saved,
-            "seconds_retried": self.seconds_retried,
+            "searches": state.searches,
+            "postings_processed": state.postings_processed,
+            "short_documents": state.short_documents,
+            "long_documents": state.long_documents,
+            "rtp_documents": state.rtp_documents,
+            "total": state.total,
+            "seconds_saved": state.seconds_saved,
+            "seconds_retried": state.seconds_retried,
         }
 
     def __repr__(self) -> str:

@@ -16,6 +16,7 @@ spans.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence
@@ -60,19 +61,34 @@ class CallTracer:
     A tracer is cheap when disabled: :meth:`record` returns immediately
     and :meth:`phase` still maintains the label stack (so enabling a
     shared tracer mid-run attributes later spans correctly).
+
+    Safe to share across threads: span emission (the index assignment
+    plus the append) is atomic under an internal lock, and the phase
+    stack is **per thread** — each serving worker's phases label only
+    the spans that worker records, instead of bleeding into concurrent
+    tenants' calls.  Single-threaded behaviour is unchanged.
     """
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self.spans: List[CallSpan] = []
-        self._phase_stack: List[str] = []
+        self._lock = threading.Lock()
+        self._phases = threading.local()
+
+    @property
+    def _phase_stack(self) -> List[str]:
+        stack = getattr(self._phases, "stack", None)
+        if stack is None:
+            stack = self._phases.stack = []
+        return stack
 
     # ------------------------------------------------------------------
     # phase attribution
     # ------------------------------------------------------------------
     @property
     def current_phase(self) -> str:
-        return self._phase_stack[-1] if self._phase_stack else UNPHASED
+        stack = self._phase_stack
+        return stack[-1] if stack else UNPHASED
 
     @contextmanager
     def phase(self, label: str) -> Iterator[None]:
@@ -99,22 +115,26 @@ class CallTracer:
         """Append one span (no-op while disabled)."""
         if not self.enabled:
             return None
-        span = CallSpan(
-            index=len(self.spans),
-            kind=kind,
-            phase=self.current_phase,
-            expression=expression,
-            result_size=result_size,
-            postings_processed=postings_processed,
-            cost=cost,
-            saved=saved,
-            cache_hit=cache_hit,
-        )
-        self.spans.append(span)
+        with self._lock:
+            # Index and append under one lock: racing emitters would
+            # otherwise mint duplicate span indexes.
+            span = CallSpan(
+                index=len(self.spans),
+                kind=kind,
+                phase=self.current_phase,
+                expression=expression,
+                result_size=result_size,
+                postings_processed=postings_processed,
+                cost=cost,
+                saved=saved,
+                cache_hit=cache_hit,
+            )
+            self.spans.append(span)
         return span
 
     def clear(self) -> None:
-        self.spans.clear()
+        with self._lock:
+            self.spans.clear()
 
     def __len__(self) -> int:
         return len(self.spans)
@@ -124,14 +144,15 @@ class CallTracer:
     # ------------------------------------------------------------------
     def hit_rate(self) -> float:
         """Fraction of spans answered by the cache (0.0 when no spans)."""
-        if not self.spans:
+        spans = list(self.spans)  # stable view while emitters keep appending
+        if not spans:
             return 0.0
-        return sum(1 for span in self.spans if span.cache_hit) / len(self.spans)
+        return sum(1 for span in spans if span.cache_hit) / len(spans)
 
     def by_phase(self) -> Dict[str, Dict[str, Any]]:
         """Per-phase aggregate: calls, hits, cost, saved."""
         phases: Dict[str, Dict[str, Any]] = {}
-        for span in self.spans:
+        for span in list(self.spans):
             entry = phases.setdefault(
                 span.phase,
                 {"calls": 0, "hits": 0, "cost": 0.0, "saved": 0.0},
@@ -147,17 +168,18 @@ class CallTracer:
         kinds = {kind: 0 for kind in SPAN_KINDS}
         hits = 0
         cost = saved = 0.0
-        for span in self.spans:
+        spans = list(self.spans)  # stable view while emitters keep appending
+        for span in spans:
             kinds[span.kind] = kinds.get(span.kind, 0) + 1
             hits += 1 if span.cache_hit else 0
             cost += span.cost
             saved += span.saved
         return {
-            "spans": len(self.spans),
+            "spans": len(spans),
             "by_kind": kinds,
             "cache_hits": hits,
-            "cache_misses": len(self.spans) - hits,
-            "hit_rate": self.hit_rate(),
+            "cache_misses": len(spans) - hits,
+            "hit_rate": hits / len(spans) if spans else 0.0,
             "cost": cost,
             "seconds_saved": saved,
             "by_phase": self.by_phase(),

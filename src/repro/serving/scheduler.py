@@ -1,0 +1,86 @@
+"""Weighted fair scheduling across tenants (stride scheduling).
+
+Classic stride scheduling [Waldspurger & Weihl, OSDI '95]: each tenant
+carries a *pass* value advanced by ``stride = STRIDE_UNIT / weight`` on
+every dispatch, and the scheduler always dispatches the eligible tenant
+with the smallest pass.  Over any window the dispatch counts converge to
+the weight ratios, and a tenant that was idle cannot hoard credit: on
+re-entry its pass is bumped to the global minimum, so it gets its fair
+share *going forward* rather than a burst of catch-up dispatches.
+
+The scheduler is a pure data structure — no locks, no threads.  The
+admission queue (:mod:`repro.serving.admission`) drives it under its own
+condition variable, which keeps the pick-next step atomic with the queue
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.errors import ServingError
+
+__all__ = ["StrideScheduler", "STRIDE_UNIT"]
+
+#: Stride numerator: large enough that float strides for any reasonable
+#: weight stay well away from each other.
+STRIDE_UNIT = float(1 << 20)
+
+
+class StrideScheduler:
+    """Pick-next-tenant by minimum pass value, weights honoured exactly."""
+
+    def __init__(self) -> None:
+        self._strides: Dict[str, float] = {}
+        self._passes: Dict[str, float] = {}
+
+    def register(self, tenant: str, weight: float) -> None:
+        if weight <= 0:
+            raise ServingError(f"tenant {tenant!r}: weight must be positive")
+        if tenant in self._strides:
+            raise ServingError(f"tenant {tenant!r} is already registered")
+        self._strides[tenant] = STRIDE_UNIT / weight
+        # Join at the current minimum: no retroactive credit for the
+        # time before registration.
+        self._passes[tenant] = min(self._passes.values(), default=0.0)
+
+    def reactivate(self, tenant: str, busy: Iterable[str]) -> None:
+        """Forget credit a tenant accrued while it had nothing queued.
+
+        ``busy`` is the set of tenants with work queued or in flight;
+        the returning tenant's pass is raised to their minimum, so an
+        idle spell buys the very next dispatch at most — never a burst.
+        """
+        floor = min(
+            (self._passes[other] for other in busy if other != tenant),
+            default=None,
+        )
+        if floor is not None and self._passes[tenant] < floor:
+            self._passes[tenant] = floor
+
+    def pick(self, eligible: Iterable[str]) -> Optional[str]:
+        """The eligible tenant with the smallest pass (name breaks ties)."""
+        best: Optional[str] = None
+        best_pass = float("inf")
+        for tenant in eligible:
+            tenant_pass = self._passes[tenant]
+            if tenant_pass < best_pass or (
+                tenant_pass == best_pass and (best is None or tenant < best)
+            ):
+                best = tenant
+                best_pass = tenant_pass
+        return best
+
+    def on_dispatch(self, tenant: str) -> None:
+        """Advance the tenant's pass by its stride."""
+        self._passes[tenant] += self._strides[tenant]
+
+    def pass_of(self, tenant: str) -> float:
+        return self._passes[tenant]
+
+    def __contains__(self, tenant: str) -> bool:
+        return tenant in self._strides
+
+    def __repr__(self) -> str:
+        ranked = sorted(self._passes.items(), key=lambda item: item[1])
+        return f"StrideScheduler({ranked})"

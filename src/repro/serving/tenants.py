@@ -1,0 +1,194 @@
+"""Tenants: identity, fair-share weight, budget and quota.
+
+The paper's cost model assumes one query charging one ledger; a serving
+deployment has N tenants charging N ledgers *concurrently*.  Each tenant
+owns:
+
+- a **weight** — its share of the scheduler's dispatch bandwidth
+  (see :mod:`repro.serving.scheduler`);
+- a **budget** — an optional ceiling on the simulated seconds its
+  :class:`~repro.gateway.costs.CostLedger` may accumulate, enforced *at
+  charge time* by :class:`BudgetedCostLedger`;
+- a **quota** — an optional ceiling on the number of queries admitted.
+
+Budget enforcement is deliberately post-charge: by the time the gateway
+charges a search, the foreign call has already happened, so the charge
+must stay on the ledger (the Section 4.1 identity prices *answered*
+work).  The charge that crosses the budget raises
+:class:`~repro.errors.BudgetExceededError`, aborting the in-flight query;
+the service then refuses the tenant's later admissions.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import BudgetExceededError, QuotaExceededError, ServingError
+from repro.gateway.costs import CostConstants, CostLedger
+
+__all__ = ["TenantSpec", "BudgetedCostLedger", "TenantState"]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's serving contract."""
+
+    name: str
+    #: Relative share of scheduler dispatches (stride scheduling).
+    weight: float = 1.0
+    #: Simulated-seconds ceiling on the tenant's ledger (None = unmetered).
+    budget_seconds: Optional[float] = None
+    #: Maximum queries admitted over the service lifetime (None = unlimited).
+    query_quota: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ServingError("a tenant needs a non-empty name")
+        if self.weight <= 0:
+            raise ServingError(f"tenant {self.name!r}: weight must be positive")
+        if self.budget_seconds is not None and self.budget_seconds < 0:
+            raise ServingError(
+                f"tenant {self.name!r}: budget must be non-negative"
+            )
+        if self.query_quota is not None and self.query_quota < 0:
+            raise ServingError(f"tenant {self.name!r}: quota must be non-negative")
+
+
+@dataclass
+class BudgetedCostLedger(CostLedger):
+    """A :class:`CostLedger` with a hard simulated-seconds budget.
+
+    Every charge applies first (the foreign call already happened) and
+    then — atomically, under the ledger's re-entrant lock — checks the
+    ceiling.  The crossing charge raises
+    :class:`~repro.errors.BudgetExceededError`; the accounting identity
+    still holds exactly over everything charged.  Only ``total`` is
+    budgeted; the ``seconds_saved`` / ``seconds_retried`` side channels
+    never count against it.
+    """
+
+    budget_seconds: Optional[float] = None
+
+    def _enforce(self) -> None:
+        if self.budget_seconds is not None and self.total > self.budget_seconds:
+            raise BudgetExceededError(
+                f"ledger total {self.total:.3f}s exceeds the budget of "
+                f"{self.budget_seconds:.3f}s"
+            )
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the ledger has crossed its budget already."""
+        return (
+            self.budget_seconds is not None and self.total > self.budget_seconds
+        )
+
+    def charge_search(self, postings_processed: int, result_size: int) -> float:
+        with self._lock:
+            cost = super().charge_search(postings_processed, result_size)
+            self._enforce()
+        return cost
+
+    def charge_retrieve(self) -> float:
+        with self._lock:
+            cost = super().charge_retrieve()
+            self._enforce()
+        return cost
+
+    def charge_rtp(self, document_count: int) -> float:
+        with self._lock:
+            cost = super().charge_rtp(document_count)
+            self._enforce()
+        return cost
+
+
+@dataclass
+class TenantState:
+    """One tenant's live serving state: ledger plus admission counters."""
+
+    spec: TenantSpec
+    ledger: BudgetedCostLedger
+    admitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
+
+    @classmethod
+    def from_spec(
+        cls, spec: TenantSpec, constants: Optional[CostConstants] = None
+    ) -> "TenantState":
+        return cls(
+            spec=spec,
+            ledger=BudgetedCostLedger(
+                constants=constants or CostConstants(),
+                budget_seconds=spec.budget_seconds,
+            ),
+        )
+
+    def try_admit(self) -> None:
+        """Claim one admission slot, or raise the matching refusal.
+
+        Quota and budget are both checked here (budget additionally at
+        charge time, which is what aborts an in-flight query).  The
+        admitted count only moves on success, so a refused submission
+        never consumes quota.  Raises
+        :class:`~repro.errors.BudgetExceededError` /
+        :class:`~repro.errors.QuotaExceededError`.
+        """
+        with self._lock:
+            if self.ledger.exhausted:
+                self.rejected += 1
+                raise BudgetExceededError(
+                    f"tenant {self.spec.name!r} exhausted its budget of "
+                    f"{self.spec.budget_seconds:.3f} simulated seconds"
+                )
+            if (
+                self.spec.query_quota is not None
+                and self.admitted >= self.spec.query_quota
+            ):
+                self.rejected += 1
+                raise QuotaExceededError(
+                    f"tenant {self.spec.name!r} reached its quota of "
+                    f"{self.spec.query_quota} queries"
+                )
+            self.admitted += 1
+
+    def release_admission(self) -> None:
+        """Give an admission slot back (queue backpressure refused it)."""
+        with self._lock:
+            self.admitted -= 1
+            self.rejected += 1
+
+    def record_outcome(self, ok: bool) -> None:
+        with self._lock:
+            if ok:
+                self.completed += 1
+            else:
+                self.failed += 1
+
+    def report(self) -> dict:
+        """JSON-friendly per-tenant accounting summary."""
+        with self._lock:
+            counts = {
+                "admitted": self.admitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected": self.rejected,
+            }
+        ledger = self.ledger
+        return {
+            "tenant": self.spec.name,
+            "weight": self.spec.weight,
+            "budget_seconds": self.spec.budget_seconds,
+            "query_quota": self.spec.query_quota,
+            **counts,
+            "ledger_total": ledger.total,
+            "searches": ledger.searches,
+            "seconds_saved": ledger.seconds_saved,
+            "seconds_retried": ledger.seconds_retried,
+        }

@@ -16,6 +16,7 @@ invocations, postings processed, and documents transmitted in each form.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
@@ -35,26 +36,49 @@ DEFAULT_TERM_LIMIT = 70
 
 @dataclass
 class ServerCounters:
-    """Cumulative usage counters, reset with :meth:`reset`."""
+    """Cumulative usage counters, reset with :meth:`reset`.
+
+    Safe to update from concurrent serving workers: the per-operation
+    record methods (and ``reset``/``snapshot``) hold an internal lock,
+    so counts never lose increments when many tenants share one
+    in-process server.
+    """
 
     searches: int = 0
     postings_processed: int = 0
     short_documents: int = 0
     long_documents: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
+
+    def record_search(self, postings_processed: int, short_documents: int) -> None:
+        """Account one answered search atomically."""
+        with self._lock:
+            self.searches += 1
+            self.postings_processed += postings_processed
+            self.short_documents += short_documents
+
+    def record_retrieve(self) -> None:
+        """Account one long-form retrieval atomically."""
+        with self._lock:
+            self.long_documents += 1
 
     def reset(self) -> None:
-        self.searches = 0
-        self.postings_processed = 0
-        self.short_documents = 0
-        self.long_documents = 0
+        with self._lock:
+            self.searches = 0
+            self.postings_processed = 0
+            self.short_documents = 0
+            self.long_documents = 0
 
     def snapshot(self) -> "ServerCounters":
-        return ServerCounters(
-            searches=self.searches,
-            postings_processed=self.postings_processed,
-            short_documents=self.short_documents,
-            long_documents=self.long_documents,
-        )
+        with self._lock:
+            return ServerCounters(
+                searches=self.searches,
+                postings_processed=self.postings_processed,
+                short_documents=self.short_documents,
+                long_documents=self.long_documents,
+            )
 
     def as_dict(self) -> Dict[str, int]:
         """JSON-friendly view, in declaration order."""
@@ -152,9 +176,7 @@ class BooleanTextServer:
             self.store.get(docid).short_form(self.store.short_fields)
             for docid in docids
         )
-        self.counters.searches += 1
-        self.counters.postings_processed += outcome.postings_processed
-        self.counters.short_documents += len(docids)
+        self.counters.record_search(outcome.postings_processed, len(docids))
         return ResultSet(
             docids=docids,
             documents=documents,
@@ -164,7 +186,7 @@ class BooleanTextServer:
     def retrieve(self, docid: str) -> Document:
         """Fetch one document's long form by docid."""
         document = self.store.get(docid)
-        self.counters.long_documents += 1
+        self.counters.record_retrieve()
         return document
 
     def retrieve_many(self, docids: Iterable[str]) -> List[Document]:

@@ -1,0 +1,130 @@
+"""The bounded admission queue: backpressure, fairness, in-flight caps."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import AdmissionRejected, ServingError
+from repro.serving.admission import DEFAULT_RETRY_AFTER, AdmissionQueue
+
+
+def make_queue(capacity=4, workers=1, tenants=("a", "b")) -> AdmissionQueue:
+    queue = AdmissionQueue(capacity, workers=workers)
+    for tenant in tenants:
+        queue.register_tenant(tenant, 1.0)
+    return queue
+
+
+def test_offer_take_done_roundtrip():
+    queue = make_queue()
+    queue.offer("a", "q1")
+    tenant, item = queue.take(timeout=1)
+    assert (tenant, item) == ("a", "q1")
+    queue.done("a", 0.01)
+    assert queue.depth == 0
+    assert queue.inflight == 0
+
+
+def test_offer_beyond_capacity_rejects_with_retry_after():
+    queue = make_queue(capacity=2)
+    queue.offer("a", 1)
+    queue.offer("a", 2)
+    with pytest.raises(AdmissionRejected) as rejection:
+        queue.offer("a", 3)
+    assert rejection.value.retry_after >= DEFAULT_RETRY_AFTER
+
+
+def test_retry_after_grows_with_backlog_and_service_time():
+    queue = make_queue(capacity=8)
+    # Teach the estimator: 1s per query, one worker.
+    queue.offer("a", 0)
+    queue.take(timeout=1)
+    queue.done("a", 1.0)
+    for i in range(8):
+        queue.offer("a", i)
+    with pytest.raises(AdmissionRejected) as rejection:
+        queue.offer("a", 9)
+    # 8 queued × ~1s service each / 1 worker ≈ 8s to drain.
+    assert rejection.value.retry_after == pytest.approx(8.0)
+
+
+def test_per_tenant_inflight_capped_at_one():
+    queue = make_queue()
+    queue.offer("a", 1)
+    queue.offer("a", 2)
+    queue.offer("b", 3)
+    first = queue.take(timeout=1)
+    assert first[0] == "a"
+    # a has another item queued, but one in flight: b must be next.
+    second = queue.take(timeout=1)
+    assert second[0] == "b"
+    # Nobody else is eligible until someone finishes.
+    assert queue.take(timeout=0.05) is None
+    queue.done("a", 0.01)
+    third = queue.take(timeout=1)
+    assert third == ("a", 2)
+
+
+def test_dispatch_order_honours_weights():
+    queue = AdmissionQueue(capacity=64, workers=1)
+    queue.register_tenant("heavy", 4.0)
+    queue.register_tenant("light", 1.0)
+    for i in range(20):
+        queue.offer("heavy", i)
+        queue.offer("light", i)
+    order = []
+    for _ in range(10):
+        tenant, _ = queue.take(timeout=1)
+        order.append(tenant)
+        queue.done(tenant, 0.0)
+    # 4:1 weighting → 8 heavy dispatches in the first 10.
+    assert order.count("heavy") == 8
+    assert order.count("light") == 2
+
+
+def test_take_blocks_until_offer_arrives():
+    queue = make_queue()
+    got = []
+
+    def consumer() -> None:
+        got.append(queue.take(timeout=5))
+
+    thread = threading.Thread(target=consumer)
+    thread.start()
+    queue.offer("a", "late-arrival")
+    thread.join(timeout=5)
+    assert got == [("a", "late-arrival")]
+
+
+def test_close_drains_then_returns_none():
+    queue = make_queue()
+    queue.offer("a", 1)
+    queue.close(drain=True)
+    with pytest.raises(AdmissionRejected):
+        queue.offer("a", 2)
+    assert queue.take(timeout=1) == ("a", 1)
+    queue.done("a", 0.0)
+    assert queue.take(timeout=1) is None
+
+
+def test_close_without_drain_returns_dropped_items():
+    queue = make_queue()
+    queue.offer("a", 1)
+    queue.offer("b", 2)
+    dropped = queue.close(drain=False)
+    assert sorted(dropped) == [1, 2]
+    assert queue.take(timeout=0.05) is None
+
+
+def test_done_without_take_is_an_error():
+    queue = make_queue()
+    with pytest.raises(ServingError):
+        queue.done("a", 0.0)
+
+
+def test_unknown_tenant_is_an_error():
+    queue = make_queue()
+    with pytest.raises(ServingError):
+        queue.offer("nobody", 1)

@@ -1,0 +1,162 @@
+"""Thread-safety of the gateway cache (satellites 2 and 3).
+
+Before its lock went in, ``LruCache`` mutated an ``OrderedDict`` from
+``get`` (move_to_end) and ``put`` (popitem) concurrently — raising
+KeyError / RuntimeError under contention and corrupting hit/miss
+counts.  And ``GatewayCache.validate`` was a check-then-act on the
+``(store uid, version)`` fingerprint: two threads could both observe a
+stale version, double-flush, and interleave fills of the old and new
+generations.  These tests fail (often with exceptions, always
+statistically) without the locks.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+import pytest
+
+from repro.gateway.cache import GatewayCache, LruCache
+
+THREADS = 8
+ITERATIONS = 3_000
+
+
+@pytest.fixture
+def tight_switching():
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-6)
+    yield
+    sys.setswitchinterval(previous)
+
+
+def run_threads(workers) -> None:
+    threads = [threading.Thread(target=worker) for worker in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+def test_lru_cache_survives_concurrent_get_put(tight_switching):
+    """No KeyError/RuntimeError, every lookup counted exactly once."""
+    cache: LruCache[int] = LruCache(capacity=32)
+    errors = []
+
+    def worker(seed: int) -> None:
+        try:
+            for i in range(ITERATIONS):
+                key = f"k{(seed * 31 + i) % 100}"
+                if cache.get(key) is None:
+                    cache.put(key, i)
+        except Exception as exc:  # pragma: no cover - the failure mode
+            errors.append(exc)
+
+    run_threads([lambda s=s: worker(s) for s in range(THREADS)])
+    assert not errors
+    # Exactly one get per iteration per thread — lost-update-free stats.
+    assert cache.stats.lookups == THREADS * ITERATIONS
+    assert len(cache) <= 32
+
+
+def test_lru_eviction_accounting_is_exact(tight_switching):
+    """puts - evictions == live entries, even under racing evictions."""
+    cache: LruCache[int] = LruCache(capacity=8)
+    puts_done = [0] * THREADS
+
+    def worker(seed: int) -> None:
+        for i in range(ITERATIONS):
+            cache.put(f"k{seed}-{i}", i)  # all distinct: every put inserts
+            puts_done[seed] += 1
+
+    run_threads([lambda s=s: worker(s) for s in range(THREADS)])
+    assert sum(puts_done) == THREADS * ITERATIONS
+    assert cache.stats.evictions == THREADS * ITERATIONS - len(cache)
+    assert len(cache) == 8
+
+
+def test_validate_flushes_exactly_once_per_version_change(tight_switching):
+    """Racing validators agree: one flush per version move, not N."""
+    cache = GatewayCache()
+    cache.validate((1, 0))
+    cache.search.put("expr", "gen-0")
+    barrier = threading.Barrier(THREADS)
+    flushed = []
+
+    def worker() -> None:
+        barrier.wait()
+        flushed.append(cache.validate((1, 1)))
+
+    run_threads([worker for _ in range(THREADS)])
+    # Exactly one thread observed the stale generation and flushed it
+    # (validate returns False for the flusher, True for everyone else).
+    assert flushed.count(False) == 1
+    assert flushed.count(True) == THREADS - 1
+    assert cache.search.stats.invalidations == 1
+    assert "expr" not in cache.search
+
+
+def test_version_stamped_put_refuses_stale_fills():
+    """A fill computed under an old version must not survive a flush.
+
+    The put-after-flush race: thread A validates at v0 and goes off to
+    compute a result; meanwhile thread B validates at v1, flushing the
+    cache.  When A comes back, its fill is a *stale* answer — the
+    version-stamped put detects the mismatch and drops it.
+    """
+    cache = GatewayCache()
+    cache.validate((7, 0))
+    # Thread A would fill under version 0 ... but the store moved on.
+    cache.validate((7, 1))
+    assert cache.put_search("expr", "stale-result", (7, 0)) is False
+    assert "expr" not in cache.search
+    # A fill stamped with the current version lands.
+    assert cache.put_search("expr", "fresh-result", (7, 1)) is True
+    assert cache.search.get("expr") == "fresh-result"
+
+
+def test_concurrent_validate_and_fill_never_leaves_stale_entries(
+    tight_switching,
+):
+    """Fills and version bumps race; the cache never serves cross-generation.
+
+    Writers fill entries stamped with the version they validated; a
+    flusher keeps bumping the version.  At every moment, any entry in
+    the cache must belong to the *current* generation.
+    """
+    cache = GatewayCache()
+    stop = threading.Event()
+    violations = []
+    version_lock = threading.Lock()
+    current = [0]
+
+    def flusher() -> None:
+        for bump in range(1, 200):
+            with version_lock:
+                current[0] = bump
+            cache.validate((1, bump))
+
+    def writer(seed: int) -> None:
+        i = 0
+        while not stop.is_set():
+            i += 1
+            with version_lock:
+                seen = current[0]
+            cache.validate((1, seen))
+            key = f"k{seed}-{i % 10}"
+            if cache.put_search(key, ("gen", seen), (1, seen)):
+                value = cache.search.peek(key)
+                if value is not None and value[1] < seen:
+                    violations.append((key, value, seen))
+
+    writers = [
+        threading.Thread(target=writer, args=(seed,)) for seed in range(4)
+    ]
+    for thread in writers:
+        thread.start()
+    flusher()
+    stop.set()
+    for thread in writers:
+        thread.join()
+    assert not violations

@@ -1,0 +1,132 @@
+"""Charge identity under concurrency (satellite 4 / DESIGN invariant 12).
+
+Many threads hammer ONE metered :class:`TextClient` — through the
+pooled remote transport, where frame dispatch itself adds more
+threads — and the final ledger must equal a serial run of the same
+workload **bit-identically**.  The paper's Section 4.1 identity prices
+answered work with integer counts, so any lost increment or torn read
+shows up as an exact-equality failure.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+import pytest
+
+from repro.gateway.client import TextClient
+from repro.gateway.costs import CostConstants
+from repro.remote.transport import RemoteTextTransport
+from repro.textsys.server import BooleanTextServer
+
+THREADS = 6
+ROUNDS = 40
+
+EXPRESSIONS = [
+    "TI='belief update'",
+    "AU='gravano'",
+    "TI='belief'",
+    "AB='information'",
+]
+
+
+@pytest.fixture
+def tight_switching():
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-6)
+    yield
+    sys.setswitchinterval(previous)
+
+
+def workload(client: TextClient, rounds: int = ROUNDS) -> None:
+    for _ in range(rounds):
+        for expression in EXPRESSIONS:
+            result = client.search(expression)
+            for docid in result.docids[:2]:
+                client.retrieve(docid)
+        client.ledger.charge_rtp(3)
+
+
+def serial_ledger(store) -> TextClient:
+    """The oracle: the same total workload on a fresh client, one thread."""
+    client = TextClient(
+        BooleanTextServer(store), constants=CostConstants()
+    )
+    for _ in range(THREADS):
+        workload(client)
+    return client
+
+
+def test_threads_sharing_one_client_charge_identically(
+    tiny_store, tight_switching
+):
+    """In-process server, one shared client, THREADS hammering threads."""
+    shared = TextClient(
+        BooleanTextServer(tiny_store), constants=CostConstants()
+    )
+    threads = [
+        threading.Thread(target=workload, args=(shared,))
+        for _ in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    oracle = serial_ledger(tiny_store)
+    assert shared.ledger.total == oracle.ledger.total
+    assert shared.ledger.report() == oracle.ledger.report()
+
+
+def test_threads_through_pooled_transport_charge_identically(
+    tiny_store, tight_switching
+):
+    """The full stack: pooled remote transport under the shared client.
+
+    ``pool_size > 1`` means retrieve_many / search_batch fan frames out
+    over the transport's own worker pool — so ledger charges arrive from
+    transport threads as well as the test's.  lan profile with
+    ``error_rate=0`` keeps retries out (retry waste is a side channel
+    anyway, but this pins ``total`` *and* the side channels).
+    """
+    from repro.remote.channel import FaultProfile
+
+    clean = FaultProfile("clean", latency=0.0, error_rate=0.0)
+    transport = RemoteTextTransport(
+        BooleanTextServer(tiny_store),
+        profile=clean,
+        time_scale=0.0,
+        pool_size=4,
+    )
+    shared = TextClient(transport, constants=CostConstants())
+
+    def batch_workload() -> None:
+        for _ in range(ROUNDS):
+            shared.search_batch([expr for expr in EXPRESSIONS])
+            shared.retrieve_many(["d1", "d2", "d3"])
+
+    threads = [
+        threading.Thread(target=batch_workload) for _ in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    oracle_transport = RemoteTextTransport(
+        BooleanTextServer(tiny_store),
+        profile=clean,
+        time_scale=0.0,
+        pool_size=1,
+    )
+    oracle = TextClient(oracle_transport, constants=CostConstants())
+    for _ in range(THREADS):
+        for _ in range(ROUNDS):
+            oracle.search_batch([expr for expr in EXPRESSIONS])
+            oracle.retrieve_many(["d1", "d2", "d3"])
+
+    assert shared.ledger.total == oracle.ledger.total
+    assert shared.ledger.report() == oracle.ledger.report()
+    transport.close()
+    oracle_transport.close()

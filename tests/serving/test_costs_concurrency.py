@@ -1,0 +1,153 @@
+"""Thread-safety of the cost ledger (the satellite-1 regression).
+
+The original ``CostLedger`` mutated its counters with bare ``+=``, which
+in CPython compiles to LOAD_ATTR / ADD / STORE_ATTR — three bytecodes a
+thread switch can interleave, silently losing increments.  These tests
+hammer one ledger from many threads with a tiny switch interval and
+assert the final counts are *exactly* the serial ones.  Before the lock
+went in, they failed with lost updates almost every run.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+import pytest
+
+from repro.errors import BudgetExceededError
+from repro.gateway.costs import CostConstants, CostLedger
+from repro.serving.tenants import BudgetedCostLedger
+
+THREADS = 8
+ITERATIONS = 2_000
+
+
+@pytest.fixture
+def tight_switching():
+    """Force thread switches every few bytecodes to provoke races."""
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-6)
+    yield
+    sys.setswitchinterval(previous)
+
+
+def hammer(ledger: CostLedger) -> None:
+    for _ in range(ITERATIONS):
+        ledger.charge_search(postings_processed=3, result_size=2)
+        ledger.charge_retrieve()
+        ledger.charge_rtp(2)
+        ledger.credit_saved(0.5)
+        ledger.charge_retry_waste(0.25)
+
+
+def run_threads(target, *args, threads: int = THREADS) -> None:
+    workers = [
+        threading.Thread(target=target, args=args) for _ in range(threads)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+
+
+def test_concurrent_charges_lose_no_updates(tight_switching):
+    """N threads × M charges == exactly N·M of every counter."""
+    ledger = CostLedger(constants=CostConstants())
+    run_threads(hammer, ledger)
+
+    calls = THREADS * ITERATIONS
+    assert ledger.searches == calls
+    assert ledger.postings_processed == 3 * calls
+    assert ledger.short_documents == 2 * calls
+    assert ledger.long_documents == calls
+    assert ledger.rtp_documents == 2 * calls
+    assert ledger.seconds_saved == pytest.approx(0.5 * calls)
+    assert ledger.seconds_retried == pytest.approx(0.25 * calls)
+
+
+def test_concurrent_total_matches_serial_total_bit_identically(tight_switching):
+    """The headline identity: concurrent total == serial total, bitwise."""
+    concurrent = CostLedger(constants=CostConstants())
+    run_threads(hammer, concurrent)
+
+    serial = CostLedger(constants=CostConstants())
+    for _ in range(THREADS):
+        hammer(serial)
+
+    # == on floats, deliberately: the totals are computed from integer
+    # counts, so any interleaving must yield the identical bit pattern.
+    assert concurrent.total == serial.total
+    assert concurrent.report() == serial.report()
+
+
+def test_snapshot_is_internally_consistent_under_load(tight_switching):
+    """A racing snapshot never observes a half-applied charge."""
+    constants = CostConstants()
+    ledger = CostLedger(constants=constants)
+    stop = threading.Event()
+    torn = []
+
+    def snapshotter() -> None:
+        while not stop.is_set():
+            view = ledger.snapshot()
+            # Every charge_search bumps searches and postings together
+            # (3 postings per search here); a torn read breaks the ratio.
+            if view.postings_processed != 3 * view.searches:
+                torn.append(view)
+
+    reader = threading.Thread(target=snapshotter)
+    reader.start()
+    run_threads(
+        lambda: [
+            ledger.charge_search(postings_processed=3, result_size=1)
+            for _ in range(ITERATIONS)
+        ],
+        threads=4,
+    )
+    stop.set()
+    reader.join()
+    assert not torn
+
+
+# ----------------------------------------------------------------------
+# the budgeted ledger
+# ----------------------------------------------------------------------
+def test_budgeted_ledger_charges_then_raises():
+    constants = CostConstants(invocation=3.0)
+    ledger = BudgetedCostLedger(constants=constants, budget_seconds=5.0)
+    ledger.charge_search(postings_processed=0, result_size=0)  # 3.0s: fine
+    assert not ledger.exhausted
+    with pytest.raises(BudgetExceededError):
+        ledger.charge_search(postings_processed=0, result_size=0)  # 6.0s
+    # The crossing charge stays on the ledger (the call already happened).
+    assert ledger.searches == 2
+    assert ledger.exhausted
+
+
+def test_budgeted_ledger_unlimited_when_budget_is_none():
+    ledger = BudgetedCostLedger(constants=CostConstants())
+    for _ in range(100):
+        ledger.charge_retrieve()
+    assert not ledger.exhausted
+
+
+def test_budgeted_ledger_concurrent_enforcement(tight_switching):
+    """Concurrent charges never blow past the budget unnoticed."""
+    constants = CostConstants(invocation=1.0)
+    ledger = BudgetedCostLedger(constants=constants, budget_seconds=50.0)
+    overruns = []
+
+    def charge_until_refused() -> None:
+        try:
+            for _ in range(100):
+                ledger.charge_search(postings_processed=0, result_size=0)
+            overruns.append("never refused")
+        except BudgetExceededError:
+            pass
+
+    run_threads(charge_until_refused, threads=4)
+    assert not overruns
+    # Every thread stopped at its own crossing charge: at most one
+    # crossing charge per thread beyond the 50 in-budget ones.
+    assert 50 < ledger.searches <= 54

@@ -1,0 +1,82 @@
+"""Stride-scheduler fairness properties (deterministic, no threads)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving.scheduler import StrideScheduler
+
+
+def drive(scheduler: StrideScheduler, tenants, dispatches: int):
+    """Run the scheduler with everyone always eligible; count dispatches."""
+    counts = {tenant: 0 for tenant in tenants}
+    for _ in range(dispatches):
+        choice = scheduler.pick(tenants)
+        counts[choice] += 1
+        scheduler.on_dispatch(choice)
+    return counts
+
+
+def test_equal_weights_alternate():
+    scheduler = StrideScheduler()
+    scheduler.register("a", 1.0)
+    scheduler.register("b", 1.0)
+    counts = drive(scheduler, ["a", "b"], 100)
+    assert counts == {"a": 50, "b": 50}
+
+
+def test_weights_yield_proportional_dispatches():
+    """Weights 4:2:1 → dispatch counts 4:2:1 over any full period."""
+    scheduler = StrideScheduler()
+    scheduler.register("heavy", 4.0)
+    scheduler.register("medium", 2.0)
+    scheduler.register("light", 1.0)
+    counts = drive(scheduler, ["heavy", "medium", "light"], 700)
+    assert counts["heavy"] == 400
+    assert counts["medium"] == 200
+    assert counts["light"] == 100
+
+
+def test_pick_ignores_ineligible_tenants():
+    scheduler = StrideScheduler()
+    scheduler.register("a", 1.0)
+    scheduler.register("b", 1.0)
+    assert scheduler.pick(["b"]) == "b"
+    assert scheduler.pick([]) is None
+
+
+def test_reactivation_forfeits_idle_credit():
+    """A tenant that sat idle gets no catch-up burst on return."""
+    scheduler = StrideScheduler()
+    scheduler.register("busy", 1.0)
+    scheduler.register("idler", 1.0)
+    # The idler goes away; busy accumulates pass.
+    for _ in range(50):
+        scheduler.on_dispatch("busy")
+    scheduler.reactivate("idler", busy=["busy"])
+    # On return the idler's pass is raised to busy's: dispatches now
+    # alternate instead of the idler monopolising 50 turns.
+    counts = drive(scheduler, ["busy", "idler"], 20)
+    assert counts == {"busy": 10, "idler": 10}
+
+
+def test_late_registration_joins_at_the_floor():
+    scheduler = StrideScheduler()
+    scheduler.register("early", 1.0)
+    for _ in range(30):
+        scheduler.on_dispatch("early")
+    scheduler.register("late", 1.0)
+    counts = drive(scheduler, ["early", "late"], 20)
+    # The newcomer joins at the minimum pass (its own), then shares.
+    assert counts["late"] >= counts["early"]
+    assert counts["late"] - counts["early"] <= 2
+
+
+def test_register_rejects_bad_input():
+    scheduler = StrideScheduler()
+    scheduler.register("a", 1.0)
+    with pytest.raises(ServingError):
+        scheduler.register("a", 2.0)
+    with pytest.raises(ServingError):
+        scheduler.register("b", 0.0)
