@@ -9,7 +9,10 @@ Usage::
     python -m repro enumeration     # E9: optimizer effort vs n
     python -m repro trace           # gateway cache + foreign-call trace
     python -m repro serve           # concurrent multi-tenant serving demo
-    python -m repro all             # everything above (except serve)
+    python -m repro index build --synthetic 100000 --out corpus.ridx
+    python -m repro index stats corpus.ridx
+    python -m repro index query corpus.ridx --expr "TI='database'"
+    python -m repro all             # everything above (except serve/index)
     python -m repro all --seed 11   # a different synthetic world
     python -m repro table2 --trace  # append the foreign-call trace
     python -m repro table2 --remote flaky   # run over a faulty transport
@@ -336,7 +339,174 @@ def _print_enumeration() -> None:
     )
 
 
+def _index_main(argv: List[str]) -> int:
+    """The ``repro index`` tool: build / inspect / query disk indexes."""
+    import time
+
+    from repro.textsys.diskindex import (
+        DEFAULT_BLOCK_SIZE,
+        DiskIndexBuilder,
+        DiskInvertedIndex,
+    )
+    from repro.textsys.engine import evaluate
+    from repro.textsys.parser import parse_search
+    from repro.textsys.persistence import load_store
+    from repro.workload.corpus import iter_synthetic_documents
+
+    parser = argparse.ArgumentParser(
+        prog="repro index",
+        description="Build and serve disk-backed compressed inverted "
+        "indexes (delta + group-varint blocks, skip entries, bounded "
+        "block cache).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser("build", help="build an index file")
+    source = build.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--synthetic",
+        type=int,
+        metavar="N",
+        help="stream N synthetic documents (never materialized in RAM)",
+    )
+    source.add_argument(
+        "--store",
+        metavar="PATH",
+        help="index a saved document store (.jsonl or .jsonl.gz)",
+    )
+    build.add_argument("--out", required=True, help="index file to write")
+    build.add_argument("--seed", type=int, default=7)
+    build.add_argument(
+        "--fields",
+        default="title,abstract",
+        help="synthetic fields (comma-separated; default title,abstract)",
+    )
+    build.add_argument("--vocabulary", type=int, default=1500)
+    build.add_argument("--block-size", type=int, default=DEFAULT_BLOCK_SIZE)
+    build.add_argument(
+        "--memory-budget-mb",
+        type=int,
+        default=256,
+        help="posting-buffer budget before spilling a segment (default 256)",
+    )
+
+    stats = commands.add_parser("stats", help="print index statistics")
+    stats.add_argument("index", help="index file to inspect")
+
+    query = commands.add_parser("query", help="evaluate a search expression")
+    query.add_argument("index", help="index file to query")
+    query.add_argument(
+        "--expr",
+        required=True,
+        action="append",
+        help="search expression, e.g. \"TI='database'\" (repeatable)",
+    )
+    query.add_argument(
+        "--cache-mb",
+        type=float,
+        default=64.0,
+        help="decoded-block cache budget in MiB (0 disables; default 64)",
+    )
+    query.add_argument("--io", choices=("mmap", "read"), default="mmap")
+    query.add_argument(
+        "--mode", choices=("optimized", "reference"), default=None
+    )
+    query.add_argument(
+        "--limit", type=int, default=10, help="matching docids to print"
+    )
+
+    arguments = parser.parse_args(argv)
+
+    if arguments.command == "build":
+        started = time.perf_counter()
+        if arguments.synthetic is not None:
+            fields = [name for name in arguments.fields.split(",") if name]
+            documents = iter_synthetic_documents(
+                arguments.synthetic,
+                seed=arguments.seed,
+                fields=fields,
+                vocabulary_size=arguments.vocabulary,
+            )
+            version = 0
+        else:
+            store = load_store(arguments.store)
+            fields = list(store.field_names)
+            documents = iter(store)
+            version = store.version
+        builder = DiskIndexBuilder(
+            fields,
+            arguments.out,
+            block_size=arguments.block_size,
+            memory_budget_mb=arguments.memory_budget_mb,
+        )
+        count = builder.add_documents(documents)
+        path = builder.finish(version=version)
+        elapsed = time.perf_counter() - started
+        size = path.stat().st_size
+        print(
+            f"indexed {count} documents into {path} "
+            f"({size / 1e6:.1f} MB) in {elapsed:.1f}s"
+        )
+        return 0
+
+    if arguments.command == "stats":
+        with DiskInvertedIndex(arguments.index, cache_budget=0) as index:
+            report = index.stats()
+        rows = [[key, value] for key, value in report.items() if key != "build"]
+        rows += [[f"build.{key}", value] for key, value in report["build"].items()]
+        print(ascii_table(["property", "value"], rows, title="disk index"))
+        return 0
+
+    budget = int(arguments.cache_mb * 1024 * 1024)
+    with DiskInvertedIndex(
+        arguments.index, cache_budget=budget, io_mode=arguments.io
+    ) as index:
+        rows = []
+        for expression in arguments.expr:
+            node = parse_search(expression)
+            started = time.perf_counter()
+            outcome = evaluate(index, node, mode=arguments.mode)
+            elapsed = time.perf_counter() - started
+            matches = [
+                index.docid_of(doc)
+                for doc in outcome.postings.doc_array[: arguments.limit]
+            ]
+            rows.append(
+                [
+                    expression,
+                    outcome.doc_count(),
+                    outcome.postings_processed,
+                    index.pages_read,
+                    round(elapsed * 1000, 2),
+                    " ".join(matches),
+                ]
+            )
+        print(
+            ascii_table(
+                ["expression", "matches", "postings", "pages", "ms", "first docids"],
+                rows,
+                title=f"disk-index query ({arguments.io}, cache "
+                f"{arguments.cache_mb:g} MiB)",
+            )
+        )
+        io = index.io_stats()
+        cache = io["cache"]
+        print(
+            f"physical: {io['block_fetches']} block fetches, "
+            f"{io['bytes_read']} bytes; cache hit rate "
+            f"{cache['hit_rate']:.0%} ({cache['hits']} hits / "
+            f"{cache['misses']} misses, {cache['evictions']} evictions)"
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "index":
+        # The index tool has its own subcommand grammar; dispatch before
+        # the experiment parser rejects it.
+        return _index_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the experiments of 'Join Queries with "

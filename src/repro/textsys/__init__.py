@@ -9,6 +9,13 @@ limit ``M``.
 
 from repro.textsys.analysis import is_phrase, normalize_term, tokenize, tokenize_with_positions
 from repro.textsys.batching import DEFAULT_BATCH_LIMIT, BatchingTextServer
+from repro.textsys.diskindex import (
+    BlockCache,
+    DiskIndexBuilder,
+    DiskInvertedIndex,
+    DiskPostingList,
+    build_disk_index,
+)
 from repro.textsys.persistence import load_store, save_store
 from repro.textsys.vector import ScoredDocument, VectorSpaceEngine
 from repro.textsys.documents import Document, DocumentStore
@@ -61,6 +68,11 @@ __all__ = [
     "Document",
     "DocumentStore",
     "InvertedIndex",
+    "BlockCache",
+    "DiskIndexBuilder",
+    "DiskInvertedIndex",
+    "DiskPostingList",
+    "build_disk_index",
     "Posting",
     "PostingList",
     "intersect",

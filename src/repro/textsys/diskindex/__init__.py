@@ -1,0 +1,46 @@
+"""Disk-backed compressed inverted index (million-document corpora).
+
+The in-memory :class:`~repro.textsys.inverted_index.InvertedIndex`
+materializes every posting list in RAM at construction time, which caps
+corpora at whatever fits in memory.  This package scales the text system
+past that: a streaming :class:`DiskIndexBuilder` spills sorted
+term/posting segment runs to disk and k-way merges them into one
+immutable index file of delta + group-varint compressed posting blocks
+(with per-block skip entries), and :class:`DiskInvertedIndex` serves that
+file behind a bounded :class:`BlockCache` — a drop-in substitute for the
+in-memory index, charge-identical under DESIGN invariant 13.
+
+Layout of the package:
+
+- :mod:`~repro.textsys.diskindex.codec` — LEB128 varints, 64-bit-safe
+  group varints, and the delta-compressed posting-block format;
+- :mod:`~repro.textsys.diskindex.cache` — the bounded LRU block cache
+  (byte-budgeted, with hit/miss/eviction statistics);
+- :mod:`~repro.textsys.diskindex.builder` — streaming corpus indexing
+  with bounded-memory spill segments and k-way merge;
+- :mod:`~repro.textsys.diskindex.reader` — the block-paged reader and
+  its lazy :class:`DiskPostingList` (skip-driven galloping).
+"""
+
+from repro.textsys.diskindex.builder import (
+    DEFAULT_BLOCK_SIZE,
+    DiskIndexBuilder,
+    build_disk_index,
+)
+from repro.textsys.diskindex.cache import BlockCache, CacheStats
+from repro.textsys.diskindex.reader import (
+    DiskInvertedIndex,
+    DiskPostingList,
+    read_index_meta,
+)
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "DiskIndexBuilder",
+    "build_disk_index",
+    "BlockCache",
+    "CacheStats",
+    "DiskInvertedIndex",
+    "DiskPostingList",
+    "read_index_meta",
+]

@@ -1,0 +1,102 @@
+"""Bounded LRU cache for decoded posting blocks.
+
+The disk reader decodes posting blocks on demand; this cache keeps the
+hot decoded blocks in memory under a configurable **byte budget**, so
+the resident footprint of a reader stays bounded no matter how large the
+index file is.  Sizes are estimates (``array('q')`` payload bytes for
+docid blocks, tuple-element counts for position blocks) — the budget is
+a memory *governor*, not an allocator.
+
+A budget of zero disables caching entirely (every fetch is physical);
+``None`` means unbounded (only sensible for tests).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional, Tuple
+
+from repro.errors import TextSystemError
+
+__all__ = ["BlockCache", "CacheStats", "DEFAULT_CACHE_BUDGET"]
+
+#: Default decoded-block budget: 64 MiB.
+DEFAULT_CACHE_BUDGET = 64 * 1024 * 1024
+
+
+@dataclass
+class CacheStats:
+    """Cumulative cache observability counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    cached_bytes: int = 0
+    entries: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "cached_bytes": self.cached_bytes,
+            "entries": self.entries,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class BlockCache:
+    """Byte-budgeted LRU over decoded blocks.
+
+    Keys are arbitrary hashables (the reader uses
+    ``(field, term, block_index, kind)``); values are stored together
+    with their estimated byte size.  Inserting a value larger than the
+    whole budget simply bypasses the cache.
+    """
+
+    def __init__(self, budget_bytes: Optional[int] = DEFAULT_CACHE_BUDGET) -> None:
+        if budget_bytes is not None and budget_bytes < 0:
+            raise TextSystemError("cache budget must be non-negative")
+        self.budget_bytes = budget_bytes
+        self._entries: "OrderedDict[Hashable, Tuple[Any, int]]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry[0]
+
+    def put(self, key: Hashable, value: Any, nbytes: int) -> None:
+        budget = self.budget_bytes
+        if budget == 0 or (budget is not None and nbytes > budget):
+            return
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.stats.cached_bytes -= old[1]
+        self._entries[key] = (value, nbytes)
+        self.stats.cached_bytes += nbytes
+        if budget is not None:
+            while self.stats.cached_bytes > budget and self._entries:
+                _, (_, evicted_bytes) = self._entries.popitem(last=False)
+                self.stats.cached_bytes -= evicted_bytes
+                self.stats.evictions += 1
+        self.stats.entries = len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (the stats counters survive)."""
+        self._entries.clear()
+        self.stats.cached_bytes = 0
+        self.stats.entries = 0

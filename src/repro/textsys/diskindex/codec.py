@@ -1,0 +1,233 @@
+"""Integer and posting-block codecs for the disk index.
+
+Two primitives:
+
+- **LEB128 varints** (:func:`write_uvarint` / :func:`read_uvarint`) for
+  counts, offsets, and position gaps — 7 payload bits per byte,
+  arbitrary 64-bit range;
+- **group varints** (:func:`encode_group` / :func:`decode_group`) for
+  docid gaps: values are packed four to a group behind one tag byte
+  whose four 2-bit codes select a 1/2/4/8-byte little-endian width per
+  value.  Unlike the classic 1/2/3/4 grouping this variant round-trips
+  the full unsigned 64-bit range, which the property tests exercise at
+  the extremes.
+
+On top of them, the **posting block** format
+(:func:`encode_block` / :func:`decode_block_docs` /
+:func:`decode_block_positions`): a block holds up to ``block_size``
+postings of one term as
+
+``[n_docs uvarint][doc_bytes_len uvarint][docid gaps, group varint]
+[per-doc positions: n_pos uvarint, first pos uvarint, gaps uvarint]``
+
+Docids are strictly increasing ordinals stored as gaps from the
+previous block's last docid (``prev_last = -1`` for the first block), so
+every gap is ≥ 1 and each block decodes independently given its skip
+entry.  ``doc_bytes_len`` lets the reader decode docids without touching
+the positions section (Boolean merges never need positions) and,
+symmetrically, skip straight to positions when only those are wanted.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import List, Sequence, Tuple
+
+from repro.errors import TextSystemError
+
+__all__ = [
+    "write_uvarint",
+    "read_uvarint",
+    "encode_uvarint",
+    "encode_group",
+    "decode_group",
+    "encode_block",
+    "decode_block_docs",
+    "decode_block_positions",
+]
+
+_MAX_U64 = (1 << 64) - 1
+
+#: Group-varint width table: 2-bit code -> byte width.
+_GROUP_WIDTHS = (1, 2, 4, 8)
+
+
+# ----------------------------------------------------------------------
+# LEB128 varints
+# ----------------------------------------------------------------------
+def write_uvarint(out: bytearray, value: int) -> None:
+    """Append one unsigned LEB128 varint to ``out``."""
+    if value < 0 or value > _MAX_U64:
+        raise TextSystemError(f"uvarint out of range: {value}")
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def encode_uvarint(value: int) -> bytes:
+    """One unsigned LEB128 varint as bytes."""
+    out = bytearray()
+    write_uvarint(out, value)
+    return bytes(out)
+
+
+def read_uvarint(buf, pos: int) -> Tuple[int, int]:
+    """Decode one varint at ``pos``; returns ``(value, next_pos)``."""
+    shift = 0
+    value = 0
+    while True:
+        try:
+            byte = buf[pos]
+        except IndexError:
+            raise TextSystemError("truncated uvarint") from None
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if byte < 0x80:
+            if value > _MAX_U64:
+                raise TextSystemError("uvarint overflows 64 bits")
+            return value, pos
+        shift += 7
+        if shift > 63:
+            raise TextSystemError("uvarint overflows 64 bits")
+
+
+# ----------------------------------------------------------------------
+# group varints (1/2/4/8-byte widths; full 64-bit range)
+# ----------------------------------------------------------------------
+def encode_group(values: Sequence[int]) -> bytes:
+    """Encode a sequence of unsigned 64-bit ints as group varints.
+
+    Values are packed in groups of four behind a tag byte; a trailing
+    partial group is zero-padded (the decoder is told the true count).
+    """
+    out = bytearray()
+    append = out.append
+    total = len(values)
+    for start in range(0, total, 4):
+        group = values[start : start + 4]
+        tag = 0
+        parts: List[bytes] = []
+        for slot, value in enumerate(group):
+            if value < 0 or value > _MAX_U64:
+                raise TextSystemError(f"group varint value out of range: {value}")
+            if value < 0x100:
+                code = 0
+            elif value < 0x10000:
+                code = 1
+            elif value < 0x100000000:
+                code = 2
+            else:
+                code = 3
+            tag |= code << (2 * slot)
+            parts.append(value.to_bytes(_GROUP_WIDTHS[code], "little"))
+        append(tag)
+        for part in parts:
+            out += part
+    return bytes(out)
+
+
+def decode_group(buf, pos: int, count: int) -> Tuple[List[int], int]:
+    """Decode ``count`` group-varint values at ``pos``."""
+    values: List[int] = []
+    append = values.append
+    from_bytes = int.from_bytes
+    remaining = count
+    try:
+        while remaining > 0:
+            tag = buf[pos]
+            pos += 1
+            for slot in range(min(4, remaining)):
+                width = _GROUP_WIDTHS[(tag >> (2 * slot)) & 0x3]
+                chunk = bytes(buf[pos : pos + width])
+                if len(chunk) != width:
+                    raise TextSystemError("truncated group varint")
+                append(from_bytes(chunk, "little"))
+                pos += width
+            remaining -= 4
+    except IndexError:
+        raise TextSystemError("truncated group varint") from None
+    return values, pos
+
+
+# ----------------------------------------------------------------------
+# posting blocks
+# ----------------------------------------------------------------------
+def encode_block(
+    docs: Sequence[int],
+    positions: Sequence[Tuple[int, ...]],
+    prev_last: int,
+) -> bytes:
+    """Encode one posting block (docids + per-doc positions).
+
+    ``docs`` must be strictly increasing and all greater than
+    ``prev_last`` (the last docid of the preceding block, ``-1`` for the
+    first); ``positions`` holds one sorted, strictly-increasing tuple of
+    word offsets per doc (may be empty).
+    """
+    if not docs:
+        raise TextSystemError("cannot encode an empty posting block")
+    if len(positions) != len(docs):
+        raise TextSystemError("positions/docs length mismatch in block")
+    gaps: List[int] = []
+    previous = prev_last
+    for doc in docs:
+        if doc <= previous:
+            raise TextSystemError("block docids must be strictly increasing")
+        gaps.append(doc - previous)
+        previous = doc
+    doc_bytes = encode_group(gaps)
+
+    pos_bytes = bytearray()
+    for doc_positions in positions:
+        write_uvarint(pos_bytes, len(doc_positions))
+        last = None
+        for position in doc_positions:
+            if last is None:
+                write_uvarint(pos_bytes, position)
+            else:
+                if position <= last:
+                    raise TextSystemError(
+                        "block positions must be strictly increasing"
+                    )
+                write_uvarint(pos_bytes, position - last)
+            last = position
+
+    out = bytearray()
+    write_uvarint(out, len(docs))
+    write_uvarint(out, len(doc_bytes))
+    out += doc_bytes
+    out += pos_bytes
+    return bytes(out)
+
+
+def decode_block_docs(buf, prev_last: int) -> array:
+    """Decode just the docid ordinals of one block into an ``array('q')``."""
+    n_docs, pos = read_uvarint(buf, 0)
+    _, pos = read_uvarint(buf, pos)  # doc_bytes_len (unused on this path)
+    gaps, _ = decode_group(buf, pos, n_docs)
+    docs = array("q")
+    append = docs.append
+    current = prev_last
+    for gap in gaps:
+        current += gap
+        append(current)
+    return docs
+
+
+def decode_block_positions(buf) -> Tuple[Tuple[int, ...], ...]:
+    """Decode just the per-doc position tuples of one block."""
+    n_docs, pos = read_uvarint(buf, 0)
+    doc_bytes_len, pos = read_uvarint(buf, pos)
+    pos += doc_bytes_len  # skip the docid section entirely
+    out: List[Tuple[int, ...]] = []
+    for _ in range(n_docs):
+        n_positions, pos = read_uvarint(buf, pos)
+        doc_positions: List[int] = []
+        current = 0
+        for index in range(n_positions):
+            gap, pos = read_uvarint(buf, pos)
+            current = gap if index == 0 else current + gap
+            doc_positions.append(current)
+        out.append(tuple(doc_positions))
+    return tuple(out)

@@ -103,7 +103,17 @@ class EvaluationResult:
 def evaluate(
     index: InvertedIndex, query: SearchNode, mode: Optional[str] = None
 ) -> EvaluationResult:
-    """Evaluate a Boolean search expression using inverted lists."""
+    """Evaluate a Boolean search expression using inverted lists.
+
+    ``index`` is any object implementing the
+    :class:`~repro.textsys.inverted_index.InvertedIndex` interface —
+    in particular the disk-backed
+    :class:`~repro.textsys.diskindex.DiskInvertedIndex`, whose lazy
+    posting lists both engines consume unchanged (lookups charge pages
+    from the dictionary, merges materialize blocks on demand, and the
+    optimized engine's skewed intersections gallop through skip tables
+    without decoding whole lists — see DESIGN invariant 13).
+    """
     if resolve_engine_mode(mode) == "reference":
         postings, processed = _evaluate(index, query)
     else:

@@ -212,3 +212,29 @@ class InvertedIndex:
     def vocabulary_size(self, field: str) -> int:
         self._check_field(field)
         return len(self._vocabulary[field])
+
+    # ------------------------------------------------------------------
+    # observability (API parity with the disk-backed index)
+    # ------------------------------------------------------------------
+    def io_stats(self) -> Dict[str, object]:
+        """Physical I/O counters — all zero for the in-memory index.
+
+        The disk-backed twin (:class:`~repro.textsys.diskindex.
+        DiskInvertedIndex`) meters real block fetches and cache traffic
+        here; exposing the same shape on both lets reporting code treat
+        the engines uniformly.  Charged ``pages_read`` is tracked
+        separately on both and stays bit-identical (DESIGN inv. 13).
+        """
+        return {
+            "block_fetches": 0,
+            "bytes_read": 0,
+            "blocks_decoded": 0,
+            "cache": {
+                "hits": 0,
+                "misses": 0,
+                "evictions": 0,
+                "cached_bytes": 0,
+                "entries": 0,
+                "hit_rate": 0.0,
+            },
+        }

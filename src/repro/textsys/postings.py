@@ -320,7 +320,21 @@ def intersect(left: PostingList, right: PostingList) -> PostingList:
     Dispatches to galloping search when the lengths are skewed by at
     least :data:`GALLOP_RATIO`, linear merge otherwise; the output is
     identical either way.
+
+    A list that still lives on disk (see :mod:`repro.textsys.diskindex`)
+    may expose a ``gallop_into`` hook; on the skewed path the hook is
+    preferred, because it answers the same membership probes by
+    bisecting the list's *skip table* and decoding only the touched
+    compressed blocks — the short list drives, the long list is never
+    materialized.  An empty operand short-circuits for the same reason.
     """
+    small, large = (left, right) if len(left) <= len(right) else (right, left)
+    if not len(small):
+        return PostingList._from_sorted(array("q"))
+    if len(large) >= GALLOP_RATIO * len(small):
+        gallop_hook = getattr(large, "gallop_into", None)
+        if gallop_hook is not None:
+            return PostingList._from_sorted(gallop_hook(small.doc_array))
     return PostingList._from_sorted(_intersect_arrays(left._docs, right._docs))
 
 

@@ -113,6 +113,7 @@ class BooleanTextServer:
         store: DocumentStore,
         term_limit: int = DEFAULT_TERM_LIMIT,
         engine_mode: Optional[str] = None,
+        index: Optional[InvertedIndex] = None,
     ) -> None:
         if term_limit < 1:
             raise TextSystemError("term limit must be at least 1")
@@ -123,7 +124,18 @@ class BooleanTextServer:
         #: see DESIGN.md "Engine kernels").  Defaults to the process-wide
         #: mode (``REPRO_ENGINE_MODE`` or ``optimized``).
         self.engine_mode = resolve_engine_mode(engine_mode)
-        self.index = InvertedIndex(store)
+        if index is None:
+            index = InvertedIndex(store)
+        elif index.document_count != len(store):
+            # An injected index (e.g. a DiskInvertedIndex built earlier)
+            # must cover exactly this collection; ordinal order is the
+            # builder's responsibility, but a size mismatch is always
+            # a wiring error worth failing loudly on.
+            raise TextSystemError(
+                f"injected index covers {index.document_count} documents "
+                f"but the store holds {len(store)}"
+            )
+        self.index = index
         self.counters = ServerCounters()
 
     # ------------------------------------------------------------------

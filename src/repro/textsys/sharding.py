@@ -186,14 +186,27 @@ def build_shard_servers(
     corpus: ShardedCorpus,
     term_limit: int = DEFAULT_TERM_LIMIT,
     engine_mode: Optional[str] = None,
+    index_factory=None,
 ) -> List[BooleanTextServer]:
     """One :class:`BooleanTextServer` per shard store, same term limit.
 
     All shards run the same evaluation engine (``engine_mode``); mixing
     modes would still merge to identical answers — the engines are
     charge-identical — but a uniform fleet keeps wall-clock predictable.
+
+    ``index_factory(shard_id, store)`` optionally supplies each shard's
+    inverted index — the hook the disk-backed deployment uses to serve
+    every shard from a prebuilt
+    :class:`~repro.textsys.diskindex.DiskInvertedIndex` file instead of
+    indexing the shard store in RAM (charges stay identical either way;
+    DESIGN invariants 10 and 13 compose).
     """
     return [
-        BooleanTextServer(store, term_limit=term_limit, engine_mode=engine_mode)
-        for store in corpus.stores
+        BooleanTextServer(
+            store,
+            term_limit=term_limit,
+            engine_mode=engine_mode,
+            index=index_factory(shard_id, store) if index_factory else None,
+        )
+        for shard_id, store in enumerate(corpus.stores)
     ]

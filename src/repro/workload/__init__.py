@@ -1,7 +1,13 @@
 """Synthetic workloads: the Mercury-like corpus, the university database,
 and the paper's canonical queries Q1–Q5 with planted statistics."""
 
-from repro.workload.corpus import DEFAULT_FIELDS, PlantReport, SyntheticCorpus
+from repro.workload.corpus import (
+    DEFAULT_FIELDS,
+    PlantReport,
+    SyntheticCorpus,
+    expanded_vocabulary,
+    iter_synthetic_documents,
+)
 from repro.workload.io import load_scenario_data, save_scenario
 from repro.workload.scenarios import (
     DEFAULT_CONSTANTS,
@@ -22,6 +28,8 @@ __all__ = [
     "SyntheticCorpus",
     "PlantReport",
     "DEFAULT_FIELDS",
+    "expanded_vocabulary",
+    "iter_synthetic_documents",
     "Scenario",
     "build_default_scenario",
     "DEFAULT_CONSTANTS",

@@ -23,13 +23,72 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import WorkloadError
 from repro.textsys.documents import Document, DocumentStore
 from repro.workload.vocabulary import BACKGROUND_WORDS, zipf_text
 
-__all__ = ["PlantReport", "SyntheticCorpus", "DEFAULT_FIELDS"]
+__all__ = [
+    "PlantReport",
+    "SyntheticCorpus",
+    "DEFAULT_FIELDS",
+    "expanded_vocabulary",
+    "iter_synthetic_documents",
+]
+
+
+def expanded_vocabulary(size: int) -> List[str]:
+    """The background vocabulary grown to ``size`` distinct words.
+
+    Stems repeat with numeric suffixes past the base word list, exactly
+    as :class:`SyntheticCorpus` expands it — streamed generation and
+    stored corpora draw from the same word universe.
+    """
+    words = list(BACKGROUND_WORDS)
+    index = 0
+    while len(words) < size:
+        stem = BACKGROUND_WORDS[index % len(BACKGROUND_WORDS)]
+        words.append(f"{stem}{index // len(BACKGROUND_WORDS)}bg")
+        index += 1
+    return words[:size]
+
+
+def iter_synthetic_documents(
+    count: int,
+    seed: int = 0,
+    *,
+    fields: Sequence[str] = ("title", "abstract"),
+    vocabulary_size: int = 1500,
+    title_words: Tuple[int, int] = (4, 9),
+    abstract_words: Tuple[int, int] = (12, 28),
+) -> Iterator[Document]:
+    """Stream ``count`` synthetic documents without materializing any.
+
+    The million-document workloads feed this generator straight into the
+    disk index builder: peak memory stays at one document, whatever
+    ``count`` is.  Text statistics match :class:`SyntheticCorpus`'s
+    background (Zipf-distributed words over the same expanded
+    vocabulary); fields other than ``title``/``abstract`` get a short
+    Zipf text so custom schemas still index something.
+    """
+    if count < 0:
+        raise WorkloadError("count must be non-negative")
+    if not fields:
+        raise WorkloadError("at least one field is required")
+    rng = random.Random(seed)
+    vocabulary = expanded_vocabulary(vocabulary_size)
+    for number in range(count):
+        doc_fields: Dict[str, str] = {}
+        for name in fields:
+            if name == "title":
+                k = rng.randint(*title_words)
+            elif name == "abstract":
+                k = rng.randint(*abstract_words)
+            else:
+                k = rng.randint(2, 6)
+            doc_fields[name] = zipf_text(rng, vocabulary, k)
+        yield Document(f"doc-{number:08d}", doc_fields)
 
 DEFAULT_FIELDS: Tuple[str, ...] = (
     "title",
@@ -108,13 +167,7 @@ class SyntheticCorpus:
     # background text
     # ------------------------------------------------------------------
     def _expand_vocabulary(self, size: int) -> List[str]:
-        words = list(BACKGROUND_WORDS)
-        index = 0
-        while len(words) < size:
-            stem = BACKGROUND_WORDS[index % len(BACKGROUND_WORDS)]
-            words.append(f"{stem}{index // len(BACKGROUND_WORDS)}bg")
-            index += 1
-        return words[:size]
+        return expanded_vocabulary(size)
 
     def _generate_background(self) -> None:
         rng = self.rng

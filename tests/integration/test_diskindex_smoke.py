@@ -1,0 +1,169 @@
+"""End-to-end disk-index smoke: the CI gate for DESIGN invariant 13.
+
+Builds a small synthetic corpus, persists it (gzipped), streams it into
+a disk index file, then runs the same query workload through a metered
+client against the in-memory server and the disk-backed server —
+results, server counters, and priced ledger totals must be identical.
+Also drives the ``repro index build/stats/query`` CLI against the same
+artifacts.
+"""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.gateway.client import TextClient
+from repro.textsys.diskindex import DiskInvertedIndex, build_disk_index
+from repro.textsys.documents import DocumentStore
+from repro.textsys.persistence import load_store, save_store
+from repro.textsys.server import BooleanTextServer
+from repro.workload.corpus import iter_synthetic_documents
+
+DOC_COUNT = 400
+
+QUERIES = [
+    "TI='algorithm'",
+    "AB='database' and AB='query'",
+    "TI='system' or AB='index'",
+    "AB='retrieval' and not TI='algorithm'",
+]
+
+
+@pytest.fixture(scope="module")
+def corpus_store():
+    store = DocumentStore(["title", "abstract"], short_fields=["title"])
+    for document in iter_synthetic_documents(DOC_COUNT, seed=11):
+        store.add(document)
+    return store
+
+
+@pytest.fixture(scope="module")
+def artifacts(corpus_store, tmp_path_factory):
+    """(store path, index path): the corpus persisted both ways."""
+    tmp = tmp_path_factory.mktemp("smoke")
+    store_path = tmp / "corpus.jsonl.gz"
+    save_store(corpus_store, store_path)
+    index_path = build_disk_index(
+        corpus_store, corpus_store.field_names, tmp / "corpus.idx"
+    )
+    return store_path, index_path
+
+
+def run_workload(server):
+    client = TextClient(server)
+    results = [client.search(expression) for expression in QUERIES]
+    return (
+        [result.docids for result in results],
+        [result.postings_processed for result in results],
+        server.counters.as_dict(),
+        client.ledger.total,
+    )
+
+
+def test_queries_find_documents(corpus_store):
+    """The workload is non-trivial: at least one query matches something."""
+    server = BooleanTextServer(corpus_store)
+    assert any(server.search(expression).docids for expression in QUERIES)
+
+
+@pytest.mark.parametrize("mode", ["reference", "optimized"])
+def test_disk_server_identical_to_memory_server(
+    corpus_store, artifacts, mode
+):
+    store_path, index_path = artifacts
+    reloaded = load_store(store_path)
+    memory = run_workload(BooleanTextServer(reloaded, engine_mode=mode))
+    with DiskInvertedIndex(index_path, cache_budget=1 << 20) as index:
+        disk = run_workload(
+            BooleanTextServer(reloaded, engine_mode=mode, index=index)
+        )
+    assert disk == memory
+
+
+def test_cold_and_warm_cache_charges_identical(corpus_store, artifacts):
+    """Physical cache state never leaks into the cost model: a second
+    pass over the same workload charges exactly the same increments."""
+    _, index_path = artifacts
+    with DiskInvertedIndex(index_path) as index:
+        server = BooleanTextServer(corpus_store, index=index)
+        cold = run_workload(server)
+        pages_cold = index.pages_read
+        io_cold = index.io_stats()["block_fetches"]
+        warm = run_workload(server)
+        assert warm[0] == cold[0]  # same docids
+        assert warm[1] == cold[1]  # same postings charges
+        assert index.pages_read == 2 * pages_cold  # same page charges again
+        # ... while physically the warm pass was mostly cache hits.
+        assert index.io_stats()["cache"]["hits"] > 0
+        assert index.io_stats()["block_fetches"] <= 2 * io_cold
+
+
+def test_cli_build_stats_query(artifacts, tmp_path, capsys):
+    store_path, _ = artifacts
+    out_path = tmp_path / "cli.idx"
+    assert (
+        cli_main(
+            ["index", "build", "--store", str(store_path), "--out", str(out_path)]
+        )
+        == 0
+    )
+    assert f"indexed {DOC_COUNT} documents" in capsys.readouterr().out
+
+    assert cli_main(["index", "stats", str(out_path)]) == 0
+    stats_out = capsys.readouterr().out
+    assert "doc_count" in stats_out and str(DOC_COUNT) in stats_out
+
+    assert (
+        cli_main(
+            [
+                "index",
+                "query",
+                str(out_path),
+                "--expr",
+                QUERIES[0],
+                "--expr",
+                QUERIES[1],
+                "--io",
+                "read",
+                "--cache-mb",
+                "1",
+            ]
+        )
+        == 0
+    )
+    query_out = capsys.readouterr().out
+    assert "physical:" in query_out
+    assert QUERIES[0] in query_out
+
+
+def test_cli_synthetic_build_matches_streamed_store(
+    corpus_store, artifacts, tmp_path, capsys
+):
+    """``--synthetic N`` streams the same documents the store holds, so
+    the two build paths produce charge-identical indexes."""
+    _, index_path = artifacts
+    out_path = tmp_path / "synthetic.idx"
+    assert (
+        cli_main(
+            [
+                "index",
+                "build",
+                "--synthetic",
+                str(DOC_COUNT),
+                "--seed",
+                "11",
+                "--out",
+                str(out_path),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    with DiskInvertedIndex(index_path) as expected, DiskInvertedIndex(
+        out_path
+    ) as actual:
+        assert actual.document_count == expected.document_count
+        for field in expected.field_names:
+            assert actual.vocabulary(field) == expected.vocabulary(field)
+        memory = run_workload(BooleanTextServer(corpus_store, index=expected))
+        synthetic = run_workload(BooleanTextServer(corpus_store, index=actual))
+        assert synthetic == memory

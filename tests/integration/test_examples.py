@@ -68,3 +68,10 @@ def test_sql_interface(capsys):
     assert "Chosen: RTP" in out
     assert "Q4 (students co-authoring with their advisors)" in out
     assert "Executed:" in out
+
+
+def test_disk_corpus(capsys):
+    out = run_example("disk_corpus", capsys)
+    assert "identical charges" in out
+    assert "cache hit rate" in out
+    assert "Done: one immutable file" in out

@@ -1,0 +1,62 @@
+"""Repository hygiene: no build artefacts under version control.
+
+PR 6 accidentally committed ``__pycache__`` bytecode; this test (and the
+matching CI step) keeps that from regressing.  Bytecode is
+interpreter-version-specific binary noise — it churns every diff and can
+shadow real source changes on import.
+"""
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _tracked_files():
+    proc = subprocess.run(
+        ["git", "ls-files"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return proc.stdout.splitlines()
+
+
+def _in_git_checkout() -> bool:
+    if shutil.which("git") is None:
+        return False
+    probe = subprocess.run(
+        ["git", "rev-parse", "--is-inside-work-tree"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    return probe.returncode == 0 and probe.stdout.strip() == "true"
+
+
+@pytest.mark.skipif(
+    not _in_git_checkout(), reason="not running from a git checkout"
+)
+def test_no_tracked_bytecode():
+    offenders = [
+        name
+        for name in _tracked_files()
+        if name.endswith((".pyc", ".pyo")) or "__pycache__" in name.split("/")
+    ]
+    assert offenders == [], (
+        "compiled bytecode is tracked by git; "
+        "run `git rm --cached` on: " + ", ".join(offenders)
+    )
+
+
+@pytest.mark.skipif(
+    not _in_git_checkout(), reason="not running from a git checkout"
+)
+def test_gitignore_covers_bytecode():
+    gitignore = (REPO_ROOT / ".gitignore").read_text().splitlines()
+    assert "__pycache__/" in gitignore
+    assert any(line in ("*.pyc", "*.py[cod]") for line in gitignore)

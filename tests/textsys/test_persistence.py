@@ -1,5 +1,8 @@
 """Unit tests for document-store persistence."""
 
+import gzip
+import json
+
 import pytest
 
 from repro.errors import TextSystemError
@@ -44,6 +47,71 @@ class TestRoundTrip:
         path = tmp_path / "u.jsonl"
         save_store(store, path)
         assert load_store(path).get("d1").field("title") == "naïve Bayes — résumé"
+
+
+class TestGzipAndHeader:
+    def test_gz_suffix_round_trip(self, tiny_store, tmp_path):
+        path = tmp_path / "store.jsonl.gz"
+        save_store(tiny_store, path)
+        # Really gzip on disk, not plain text with a misleading name.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        loaded = load_store(path)
+        assert loaded.docids() == tiny_store.docids()
+        for docid in tiny_store.docids():
+            assert dict(loaded.get(docid).fields) == dict(
+                tiny_store.get(docid).fields
+            )
+
+    def test_header_declares_count(self, tiny_store, tmp_path):
+        path = tmp_path / "store.jsonl"
+        save_store(tiny_store, path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["count"] == len(tiny_store)
+
+    def test_progress_callback(self, tiny_store, tmp_path):
+        path = tmp_path / "store.jsonl.gz"
+        save_store(tiny_store, path)
+        calls = []
+        load_store(path, progress=lambda loaded, total: calls.append((loaded, total)))
+        # Tiny store: only the final call fires, with the declared total.
+        assert calls == [(len(tiny_store), len(tiny_store))]
+
+    def test_count_mismatch_is_an_error(self, tiny_store, tmp_path):
+        path = tmp_path / "store.jsonl"
+        save_store(tiny_store, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop one document
+        with pytest.raises(TextSystemError, match="declares"):
+            load_store(path)
+
+    def test_pre_count_files_still_load(self, tiny_store, tmp_path):
+        path = tmp_path / "store.jsonl"
+        save_store(tiny_store, path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        del header["count"]
+        path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        calls = []
+        loaded = load_store(
+            path, progress=lambda n, total: calls.append((n, total))
+        )
+        assert loaded.docids() == tiny_store.docids()
+        assert calls == [(len(tiny_store), None)]
+
+    def test_bad_count_rejected(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        path.write_text(
+            '{"format": "repro-docstore-v1", "fields": ["t"], '
+            '"short_fields": [], "count": -3}\n'
+        )
+        with pytest.raises(TextSystemError, match="count"):
+            load_store(path)
+
+    def test_corrupt_gzip_reports_cleanly(self, tmp_path):
+        path = tmp_path / "store.jsonl.gz"
+        path.write_bytes(b"\x1f\x8bnot really gzip")
+        with pytest.raises((TextSystemError, OSError, gzip.BadGzipFile)):
+            load_store(path)
 
 
 class TestErrors:
