@@ -1,0 +1,158 @@
+"""Feedback-driven re-optimization: the estimator loop, measured.
+
+The acceptance benchmark for :mod:`repro.core.feedback` plus the
+re-optimizing guard in :mod:`repro.core.adaptive`, on the skewed
+stale-statistics Q4 workload of
+:mod:`repro.bench.feedback_loop`:
+
+- **the loop closes**: run 1 plans from drifted priors, picks the
+  guarded P+RTP, aborts at its miscalibrated fetch cap, re-optimizes
+  mid-query, and lands on an expensive fallback; run 2 blends the
+  recorded observations and must pick a *different, cheaper* method up
+  front — lower ``CostLedger`` total, zero aborts, identical result
+  pairs;
+- **charge identity** (DESIGN invariant 14): executing the very same
+  blended plan with feedback recording attached and with no feedback at
+  all must produce bit-identical attempt spends, ledger totals, and
+  result pairs — feedback changes plan *choice*, never the accounting
+  of the plan that runs;
+- **persistence round-trip**: the store that learned run 1's evidence
+  must survive a save/load cycle payload-identical, and the reloaded
+  store must reproduce the exact same run-2 plan flip.
+
+Run standalone for a prior-weight sweep, or ``--smoke`` for the CI
+sanity pass (flip + identity asserted).  ``REPRO_ENGINE_MODE=reference``
+re-runs everything over the reference text-engine oracle.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict
+
+import pytest
+
+from repro.bench.feedback_loop import (
+    feedback_loop_report,
+    render_report,
+    stale_statistics_registry,
+)
+from repro.bench.reporting import ascii_table
+from repro.core.adaptive import execute_adaptively
+from repro.core.feedback import FeedbackStore
+from repro.core.inputs import build_cost_inputs
+from repro.workload import build_default_scenario
+
+
+def assert_loop_closed(report: Dict[str, Any]) -> None:
+    run1, run2 = report["run1"], report["run2"]
+    assert any(a["aborted"] for a in run1["attempts"]), (
+        "run 1 must hit the guard: " + repr(run1["attempts"])
+    )
+    assert run1["reoptimizations"] >= 1
+    assert run2["winner"] != run1["winner"], (
+        f"run 2 re-picked {run2['winner']!r}"
+    )
+    assert not any(a["aborted"] for a in run2["attempts"])
+    assert run2["total_cost"] < run1["total_cost"], (
+        f"run 2 cost {run2['total_cost']:.3f} not below "
+        f"run 1 cost {run1['total_cost']:.3f}"
+    )
+    assert report["results_identical"], "the flip changed the answer"
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (CI benchmarks job)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def loop_report():
+    return feedback_loop_report()
+
+
+def test_run2_flips_to_a_cheaper_plan(loop_report):
+    assert_loop_closed(loop_report)
+
+
+def test_feedback_recording_never_changes_charges(loop_report):
+    identity = loop_report["identity"]
+    assert identity["identical"], (
+        f"invariant 14 violated: {identity['recorded_total']!r} with "
+        f"feedback vs {identity['silent_total']!r} without"
+    )
+
+
+def test_reloaded_store_reproduces_the_flip(tmp_path, loop_report):
+    path = str(tmp_path / "feedback.json")
+    store = loop_report["store"]
+    store.save(path)
+    reloaded = FeedbackStore.load(path)
+    assert reloaded == store
+
+    scenario = build_default_scenario(seed=7)
+    query = scenario.q4()
+    context = scenario.context()
+    inputs = build_cost_inputs(
+        query, context, registry=stale_statistics_registry(), feedback=reloaded
+    )
+    execution = execute_adaptively(query, context, inputs)
+    assert execution.execution.method == loop_report["run2"]["winner"]
+    assert not any(a.aborted for a in execution.attempts)
+
+
+# ----------------------------------------------------------------------
+# standalone entry point (full measurement / CI smoke)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="single default run; flip and identity asserted",
+    )
+    options = parser.parse_args(argv)
+
+    if options.smoke:
+        report = feedback_loop_report(seed=options.seed)
+        print(render_report(report))
+        assert_loop_closed(report)
+        assert report["identity"]["identical"]
+        print("smoke OK: plan flipped to a cheaper method, identity exact")
+        return 0
+
+    rows = []
+    for prior_weight in (0.25, 0.5, 1.0, 4.0, 16.0):
+        report = feedback_loop_report(
+            seed=options.seed, prior_weight=prior_weight
+        )
+        run1, run2 = report["run1"], report["run2"]
+        rows.append(
+            [
+                prior_weight,
+                run1["winner"],
+                round(run1["total_cost"], 2),
+                run2["winner"],
+                round(run2["total_cost"], 2),
+                "yes" if report["flipped"] and report["cheaper"] else "no",
+                "OK" if report["identity"]["identical"] else "VIOLATED",
+            ]
+        )
+    print(
+        ascii_table(
+            ["prior weight", "run1 winner", "run1 (s)", "run2 winner",
+             "run2 (s)", "flip", "invariant 14"],
+            rows,
+            title="Feedback loop vs prior-vs-observed weighting (Q4, "
+            "stale statistics)",
+        )
+    )
+    print(
+        "low prior weights trust one abort's evidence enough to flip; "
+        "high weights need more observations before the estimate moves"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,11 +12,15 @@ Usage::
     python -m repro index build --synthetic 100000 --out corpus.ridx
     python -m repro index stats corpus.ridx
     python -m repro index query corpus.ridx --expr "TI='database'"
+    python -m repro qerror demo --store feedback.json   # the estimator loop
+    python -m repro qerror report --store feedback.json # q-error summary
     python -m repro all             # everything above (except serve/index)
     python -m repro all --seed 11   # a different synthetic world
     python -m repro table2 --trace  # append the foreign-call trace
     python -m repro table2 --remote flaky   # run over a faulty transport
     python -m repro serve --shards 4 --pool 4   # serve over shards
+    python -m repro table2 --feedback feedback.json  # record q-errors
+    python -m repro serve --feedback feedback.json   # feedback-driven plans
 """
 
 from __future__ import annotations
@@ -52,9 +56,23 @@ from repro.workload.scenarios import build_prl_scenario
 __all__ = ["main"]
 
 
-def _print_table2(scenario) -> None:
+def _print_table2(scenario, feedback=None) -> None:
     rows = []
-    for query_id, runs in table2_rows(scenario).items():
+    by_query = table2_rows(scenario)
+    if feedback is not None:
+        # Every (predicted, measured) pair the experiment produced is
+        # q-error evidence; recording it is read-only for the ledger.
+        for query_id, runs in by_query.items():
+            for run in runs:
+                if run.predicted_cost is not None:
+                    feedback.record_event(
+                        kind="method",
+                        label=f"{query_id}:{run.method}",
+                        estimated=run.predicted_cost,
+                        actual=run.measured_cost,
+                        unit="seconds",
+                    )
+    for query_id, runs in by_query.items():
         for run in runs:
             rows.append(
                 [
@@ -245,11 +263,12 @@ def _print_sharded_report(transport) -> None:
     )
 
 
-def _print_serving(scenario) -> None:
+def _print_serving(scenario, feedback=None) -> None:
     """A mixed-tenant serving session over whatever backend is wired in."""
     import time as _time
 
     from repro.errors import AdmissionRejected, BudgetExceededError
+    from repro.gateway.statistics import TextStatisticsRegistry
     from repro.serving import QueryService, TenantSpec
 
     tenants = [
@@ -265,7 +284,13 @@ def _print_serving(scenario) -> None:
             submissions.append((spec.name, query_id))
 
     service = QueryService(
-        scenario, tenants, workers=4, capacity=8, cache=scenario.shared_cache
+        scenario,
+        tenants,
+        workers=4,
+        capacity=8,
+        cache=scenario.shared_cache,
+        feedback=feedback,
+        statistics=TextStatisticsRegistry() if feedback is not None else None,
     )
     refused = 0
     with service:
@@ -317,6 +342,12 @@ def _print_serving(scenario) -> None:
         ["breaker states", ", ".join(snapshot["breaker_states"]) or "-"],
     ]
     print(ascii_table(["serving metric", "value"], rows))
+    if feedback is not None:
+        summary = feedback.summary()
+        print(
+            f"feedback: {summary['methods']} method keys, "
+            f"{summary['predicates']} predicate observations recorded"
+        )
 
 
 def _print_enumeration() -> None:
@@ -500,6 +531,66 @@ def _index_main(argv: List[str]) -> int:
     return 0
 
 
+def _qerror_main(argv: List[str]) -> int:
+    """The ``repro qerror`` tool: feedback stores and q-error reports."""
+    from repro.bench.feedback_loop import feedback_loop_report, render_report
+    from repro.core.feedback import FeedbackStore
+    from repro.errors import FeedbackError
+
+    parser = argparse.ArgumentParser(
+        prog="repro qerror",
+        description="Inspect and exercise the estimator feedback loop: "
+        "persistent estimate-vs-actual statistics, q-error reports, and "
+        "the two-run demonstration workload.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    report = commands.add_parser(
+        "report", help="print a store's q-error summary"
+    )
+    report.add_argument("--store", required=True, help="feedback store path")
+    report.add_argument(
+        "--top", type=int, default=10, help="worst offenders to list"
+    )
+
+    demo = commands.add_parser(
+        "demo",
+        help="run the two-pass stale-statistics workload (plan flips on "
+        "run 2) and optionally persist the evidence",
+    )
+    demo.add_argument("--store", help="save the feedback store here")
+    demo.add_argument("--seed", type=int, default=7)
+    demo.add_argument("--prior-weight", type=float, default=0.5)
+
+    arguments = parser.parse_args(argv)
+
+    if arguments.command == "report":
+        try:
+            store = FeedbackStore.load(arguments.store)
+        except FeedbackError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        summary = store.summary()
+        print(
+            f"{arguments.store}: {summary['predicates']} predicate "
+            f"observations, {summary['methods']} method keys, "
+            f"{summary['events']} events "
+            f"(prior weight {summary['prior_weight']:g})"
+        )
+        print(store.report().render(top=arguments.top))
+        return 0
+
+    outcome = feedback_loop_report(
+        seed=arguments.seed, prior_weight=arguments.prior_weight
+    )
+    print(render_report(outcome))
+    if arguments.store:
+        path = outcome["store"].save(arguments.store)
+        print(f"feedback store saved to {path}")
+    flipped = outcome["flipped"] and outcome["cheaper"]
+    return 0 if flipped and outcome["identity"]["identical"] else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -507,6 +598,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         # The index tool has its own subcommand grammar; dispatch before
         # the experiment parser rejects it.
         return _index_main(argv[1:])
+    if argv and argv[0] == "qerror":
+        return _qerror_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the experiments of 'Join Queries with "
@@ -559,7 +652,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=0,
         help="failover replicas per shard (only meaningful with --shards)",
     )
+    parser.add_argument(
+        "--feedback",
+        metavar="PATH",
+        help="record estimate-vs-actual feedback into this store "
+        "(created if missing; experiments record method q-errors, serve "
+        "plans each query with feedback-blended statistics)",
+    )
     arguments = parser.parse_args(argv)
+
+    feedback = None
+    if arguments.feedback:
+        from repro.core.feedback import FeedbackStore
+
+        feedback = FeedbackStore.open(arguments.feedback)
 
     needs_scenario = arguments.experiment in (
         "table2", "ranking", "multijoin", "trace", "serve", "all"
@@ -610,7 +716,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     ran_any = False
     if arguments.experiment in ("table2", "all"):
-        _print_table2(scenario)
+        _print_table2(scenario, feedback=feedback)
         print()
         ran_any = True
     if arguments.experiment in ("ranking", "all"):
@@ -632,7 +738,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         _print_trace(scenario)
         ran_any = True
     if arguments.experiment == "serve":
-        _print_serving(scenario)
+        _print_serving(scenario, feedback=feedback)
         ran_any = True
     if tracer is not None and tracer.spans:
         print()
@@ -643,6 +749,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             _print_sharded_report(transport)
         else:
             _print_transport_report(transport)
+    if feedback is not None and ran_any:
+        path = feedback.save(arguments.feedback)
+        print(f"\nfeedback store saved to {path}")
     return 0 if ran_any else 1
 
 

@@ -26,7 +26,17 @@ from repro.core.adaptive import (
     AdaptiveExecution,
     execute_adaptively,
 )
-from repro.core.executor import PlanExecution, execute_plan
+from repro.core.executor import NodeActual, PlanExecution, execute_plan
+from repro.core.feedback import (
+    EstimateRecord,
+    FeedbackStore,
+    PredicateObservation,
+    QErrorReport,
+    corpus_fingerprint,
+    plan_qerror_report,
+    qerror,
+    query_key,
+)
 from repro.core.inputs import build_cost_inputs, distinct_counts_for
 from repro.core.joinmethods import (
     BatchedTupleSubstitution,
@@ -117,6 +127,15 @@ __all__ = [
     "AdaptiveAttempt",
     "AdaptiveExecution",
     "execute_adaptively",
+    "NodeActual",
+    "EstimateRecord",
+    "FeedbackStore",
+    "PredicateObservation",
+    "QErrorReport",
+    "corpus_fingerprint",
+    "plan_qerror_report",
+    "qerror",
+    "query_key",
     "parse_query",
     "render_query",
     "explain_query",

@@ -23,7 +23,7 @@ as the real integration would have to.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.joinmethods.base import JoinContext, selection_node
@@ -49,7 +49,13 @@ from repro.relational.types import DataType
 from repro.textsys.documents import Document
 from repro.textsys.query import and_all, data_term
 
-__all__ = ["PlanExecution", "execute_plan", "document_schema", "document_row"]
+__all__ = [
+    "NodeActual",
+    "PlanExecution",
+    "execute_plan",
+    "document_schema",
+    "document_row",
+]
 
 
 def document_schema(field_names: Sequence[str], text_source: str) -> Schema:
@@ -70,6 +76,39 @@ def document_row(
     return Row(schema, values)
 
 
+@dataclass(frozen=True)
+class NodeActual:
+    """One plan node's estimate paired with what its subtree measured.
+
+    ``actual_cost`` is the ledger's charge delta across the node's whole
+    subtree execution — directly comparable to the estimator's
+    *cumulative* ``estimated_cost`` annotation.  Estimates are ``None``
+    when the plan ran unannotated.  Capture is read-only: snapshotting
+    and diffing the ledger charges nothing (DESIGN invariant 14).
+    """
+
+    label: str
+    estimated_rows: Optional[float]
+    actual_rows: float
+    estimated_cost: Optional[float]
+    actual_cost: float
+
+
+def _node_label(plan: PlanNode) -> str:
+    if isinstance(plan, ScanNode):
+        return f"Scan({plan.relation})"
+    if isinstance(plan, TextScanNode):
+        return "TextScan"
+    if isinstance(plan, ProbeNode):
+        bare = ",".join(col.split(".")[-1] for col in plan.probe_columns)
+        return f"Probe({bare})"
+    if isinstance(plan, JoinNode):
+        return "Join"
+    if isinstance(plan, TextJoinNode):
+        return f"TextJoin[{plan.method.name}]"
+    return type(plan).__name__
+
+
 @dataclass
 class PlanExecution:
     """The measured outcome of running one plan."""
@@ -79,6 +118,9 @@ class PlanExecution:
     cost: CostLedger
     relational_comparisons: int
     wall_seconds: float
+    #: Per-node estimate/actual pairs in completion (bottom-up) order —
+    #: the raw material for q-error reports (core/feedback).
+    node_actuals: List[NodeActual] = field(default_factory=list)
 
     def total_cost(self, join_comparison_cost: float = 0.0001) -> float:
         """Simulated seconds: text-system cost plus priced relational work."""
@@ -101,6 +143,7 @@ class _PlanRunner:
         self.query = query
         self.context = context
         self.comparisons = 0
+        self.node_actuals: List[NodeActual] = []
         store = context.client.server.store
         self.field_names: Tuple[str, ...] = tuple(store.field_names)
         self.short_fields = set(store.short_fields)
@@ -108,6 +151,23 @@ class _PlanRunner:
 
     # ------------------------------------------------------------------
     def run(self, plan: PlanNode) -> MaterializedInput:
+        # Children run inside the dispatch, so the ledger delta spans the
+        # whole subtree — the unit the estimator's cumulative
+        # ``estimated_cost`` describes.
+        before = self.context.client.ledger.snapshot()
+        result = self._dispatch(plan)
+        self.node_actuals.append(
+            NodeActual(
+                label=_node_label(plan),
+                estimated_rows=plan.estimated_rows,
+                actual_rows=float(len(result)),
+                estimated_cost=plan.estimated_cost,
+                actual_cost=self.context.client.ledger.diff(before).total,
+            )
+        )
+        return result
+
+    def _dispatch(self, plan: PlanNode) -> MaterializedInput:
         if isinstance(plan, ScanNode):
             return self._run_scan(plan)
         if isinstance(plan, TextScanNode):
@@ -361,4 +421,5 @@ def execute_plan(
         cost=context.client.ledger.diff(ledger_before),
         relational_comparisons=runner.comparisons,
         wall_seconds=time.perf_counter() - started_at,
+        node_actuals=runner.node_actuals,
     )

@@ -65,6 +65,7 @@ def build_cost_inputs(
     exact: bool = True,
     sample_size: int = 20,
     rng: Optional[random.Random] = None,
+    feedback=None,
 ) -> QueryCostInputs:
     """Gather all statistics the Section 4.3 cost formulas need.
 
@@ -73,6 +74,11 @@ def build_cost_inputs(
     column value via the server's meta interface.  With ``exact=False``
     they are estimated by metered sampling through the client.  Either
     way, results are cached in ``registry`` when one is provided.
+
+    ``feedback`` (a :class:`~repro.core.feedback.FeedbackStore`) blends
+    observed execution statistics into each predicate's prior — the
+    registry keeps the *unblended* prior, so feedback weighting can
+    evolve between runs without poisoning the cache.
     """
     client = context.client
     rows = joining_rows(context, query)
@@ -108,6 +114,10 @@ def build_cost_inputs(
                 )
             if registry is not None:
                 registry.put(stats)
+        if feedback is not None:
+            from repro.core.feedback import corpus_fingerprint
+
+            stats = feedback.blend(stats, corpus_fingerprint(client.server))
         predicate_stats[predicate.column] = stats
 
     if query.text_selections:

@@ -300,6 +300,8 @@ class ProbeRtp(JoinMethod):
         )
         pairs: List[JoinedPair] = []
         fetched = 0
+        probes_sent = 0
+        successes = 0
 
         for key, group in group_by_columns(rows, probe_columns).items():
             with context.client.trace_phase("probe"):
@@ -309,14 +311,31 @@ class ProbeRtp(JoinMethod):
                 result = context.client.search(
                     and_all(selections + probe_nodes)
                 )
+            probes_sent += 1
             if result.is_empty:
                 continue
+            successes += 1
             fetched += len(result)
             if self.fetch_cap is not None and fetched > self.fetch_cap:
-                raise JoinMethodError(
+                error = JoinMethodError(
                     f"{self.name}: fetched {fetched} documents, cap is "
                     f"{self.fetch_cap}; estimates were unreliable"
                 )
+                # What the guard actually saw before tripping: runtime
+                # re-optimization (core/adaptive) turns these counts into
+                # observed statistics, and the feedback store records the
+                # abort's true cause as a q-error event.
+                error.observed = {
+                    "probe_columns": probe_columns,
+                    "fields": {
+                        predicate.column: predicate.field
+                        for predicate in probe_predicates
+                    },
+                    "probes": probes_sent,
+                    "successes": successes,
+                    "fetched": fetched,
+                }
+                raise error
             with context.client.trace_phase("RTP"):
                 pairs.extend(
                     rtp_match_pairs(

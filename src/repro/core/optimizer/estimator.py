@@ -42,7 +42,7 @@ from repro.core.optimizer.plan import (
 )
 from repro.core.optimizer.single_join import MethodChoice, enumerate_method_choices
 from repro.core.query import ResultShape, TextJoinPredicate, TextJoinQuery
-from repro.errors import OptimizationError, PlanError
+from repro.errors import OptimizationError, PlanError, StatisticsError
 from repro.gateway.sampling import exact_predicate_statistics
 from repro.gateway.statistics import (
     PredicateStatistics,
@@ -68,12 +68,17 @@ class PlanEstimator:
         registry: Optional[TextStatisticsRegistry] = None,
         g: int = 1,
         join_comparison_cost: float = 0.0001,
+        feedback=None,
     ) -> None:
         self.query = query
         self.context = context
         self.registry = registry or TextStatisticsRegistry()
         self.g = g
         self.join_comparison_cost = join_comparison_cost
+        #: Optional :class:`~repro.core.feedback.FeedbackStore`: observed
+        #: execution statistics are blended into every text-predicate
+        #: prior (prior-vs-observed weighting lives on the store).
+        self.feedback = feedback
         self.join_tasks = 0  # complexity counter for E9
 
         self._scan_rows: Dict[str, List] = {}
@@ -143,6 +148,12 @@ class PlanEstimator:
                         values,
                     )
                 self.registry.put(stats)
+            if self.feedback is not None:
+                from repro.core.feedback import corpus_fingerprint
+
+                stats = self.feedback.blend(
+                    stats, corpus_fingerprint(self.context.client.server)
+                )
             self._predicate_stats[predicate.column] = stats
 
     # ------------------------------------------------------------------
@@ -180,7 +191,22 @@ class PlanEstimator:
     # plan annotation
     # ------------------------------------------------------------------
     def annotate(self, plan: PlanNode) -> PlanNode:
-        """Fill ``estimated_rows`` / ``estimated_cost`` over the subtree."""
+        """Fill ``estimated_rows`` / ``estimated_cost`` over the subtree.
+
+        Degenerate statistics (empty corpus, zero-distinct or all-NULL
+        join columns, empty relations) surface as a typed
+        :class:`OptimizationError` naming the node — never a bare
+        :class:`StatisticsError` or a ZeroDivisionError from deep inside
+        a cost formula.
+        """
+        try:
+            return self._annotate(plan)
+        except StatisticsError as error:
+            raise OptimizationError(
+                f"cannot estimate {type(plan).__name__}: {error}"
+            ) from error
+
+    def _annotate(self, plan: PlanNode) -> PlanNode:
         if isinstance(plan, ScanNode):
             plan.estimated_rows = float(len(self._filtered_rows(plan.relation)))
             plan.estimated_cost = 0.0
@@ -316,11 +342,21 @@ class PlanEstimator:
     def text_join_choices(
         self, child: PlanNode, predicates: Sequence[TextJoinPredicate]
     ) -> List[MethodChoice]:
-        """Ranked join-method choices for a text join over ``child``."""
+        """Ranked join-method choices for a text join over ``child``.
+
+        Degenerate statistics (an empty corpus most prominently) surface
+        as a typed :class:`OptimizationError`, matching :meth:`annotate`.
+        """
         self.join_tasks += 1
         inputs = self.text_join_inputs(child, predicates)
         synthetic = self._synthetic_query(predicates)
-        return enumerate_method_choices(synthetic, inputs)
+        try:
+            return enumerate_method_choices(synthetic, inputs)
+        except StatisticsError as error:
+            raise OptimizationError(
+                f"cannot enumerate text-join methods over "
+                f"{sorted(p.column for p in predicates)}: {error}"
+            ) from error
 
     def _best_text_join_choice(self, plan: TextJoinNode) -> MethodChoice:
         choices = self.text_join_choices(plan.child, plan.available_predicates)

@@ -29,6 +29,7 @@ __all__ = [
     "QuotaExceededError",
     "BudgetExceededError",
     "StatisticsError",
+    "FeedbackError",
     "PlanError",
     "OptimizationError",
     "JoinMethodError",
@@ -132,6 +133,15 @@ class BudgetExceededError(ServingError):
 
 class StatisticsError(ReproError):
     """Statistics were requested for a predicate that was never sampled."""
+
+
+class FeedbackError(StatisticsError):
+    """A feedback-statistics store is corrupt or could not be loaded.
+
+    Subclasses :class:`StatisticsError` so statistics-aware callers can
+    treat unusable feedback like missing statistics; loading never falls
+    back to a possibly-wrong estimate silently.
+    """
 
 
 class PlanError(ReproError):

@@ -32,7 +32,11 @@ from repro.gateway.statistics import PredicateStatistics
 from repro.textsys.query import make_term
 from repro.textsys.server import BooleanTextServer
 
-__all__ = ["sample_predicate_statistics", "exact_predicate_statistics"]
+__all__ = [
+    "sample_predicate_statistics",
+    "exact_predicate_statistics",
+    "observed_predicate_statistics",
+]
 
 
 def _distinct_strings(values: Iterable[object]) -> List[str]:
@@ -79,6 +83,37 @@ def sample_predicate_statistics(
         selectivity=matched / len(chosen),
         fanout=total_results / len(chosen),
         sample_size=len(chosen),
+    )
+
+
+def observed_predicate_statistics(
+    column: str,
+    field: str,
+    searches: int,
+    matched: int,
+    documents: float,
+) -> PredicateStatistics:
+    """``(s_i, f_i)`` from searches the runtime already paid for.
+
+    Execution-time observations are free statistics: ``searches``
+    instantiated probes/searches on distinct column values, of which
+    ``matched`` returned at least one document and ``documents`` results
+    came back in total.  The counts are clamped into the valid domain so
+    a truncated observation (an aborted method counted only part of its
+    probes) still yields well-formed statistics.
+    """
+    if searches < 1:
+        raise StatisticsError(
+            f"observation for {column!r} needs at least one search"
+        )
+    matched = min(max(matched, 0), searches)
+    documents = max(float(documents), 0.0)
+    return PredicateStatistics(
+        column=column,
+        field=field,
+        selectivity=matched / searches,
+        fanout=documents / searches,
+        sample_size=searches,
     )
 
 

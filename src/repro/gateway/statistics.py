@@ -32,6 +32,7 @@ __all__ = [
     "TextStatisticsRegistry",
     "joint_selectivity",
     "joint_fanout",
+    "blend_statistics",
 ]
 
 
@@ -88,6 +89,43 @@ def joint_fanout(fanouts: Sequence[float], g: int, document_count: int) -> float
     for value in ordered[:effective]:
         product *= value
     return product / (document_count ** (effective - 1))
+
+
+def blend_statistics(
+    prior: PredicateStatistics,
+    observed: PredicateStatistics,
+    prior_weight: float,
+) -> PredicateStatistics:
+    """Weighted blend of a prior estimate with runtime observations.
+
+    ``prior_weight`` is the prior's equivalent sample size; the observed
+    statistics weigh in with their own ``sample_size`` (number of real
+    searches behind them).  The blend is the precision-weighted mean
+
+        s = (w_p * s_prior + w_o * s_obs) / (w_p + w_o)
+
+    clamped back into the valid domain, so a malformed input can never
+    produce a selectivity outside ``[0, 1]`` or a negative fanout.
+    """
+    if prior_weight < 0:
+        raise StatisticsError("prior_weight must be non-negative")
+    w_obs = float(max(observed.sample_size, 0))
+    if w_obs == 0.0:
+        return prior
+    total = prior_weight + w_obs
+    if total <= 0.0:
+        return observed
+    selectivity = (
+        prior_weight * prior.selectivity + w_obs * observed.selectivity
+    ) / total
+    fanout = (prior_weight * prior.fanout + w_obs * observed.fanout) / total
+    return PredicateStatistics(
+        column=prior.column,
+        field=prior.field,
+        selectivity=min(1.0, max(0.0, selectivity)),
+        fanout=max(0.0, fanout),
+        sample_size=prior.sample_size + observed.sample_size,
+    )
 
 
 @dataclass(frozen=True)

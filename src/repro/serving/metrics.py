@@ -15,6 +15,7 @@ service in one instant.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import deque
@@ -27,13 +28,23 @@ LATENCY_WINDOW = 2048
 
 
 def percentile(samples: Sequence[float], fraction: float) -> float:
-    """The ``fraction``-quantile (nearest-rank) of ``samples``; 0.0 if empty."""
+    """The ``fraction``-quantile (nearest-rank) of ``samples``; 0.0 if empty.
+
+    Nearest-rank: the smallest sample with at least ``fraction`` of the
+    distribution at or below it — ``ordered[ceil(fraction * n) - 1]``.
+    The old floor-based rank overshot by one position whenever
+    ``fraction * n`` landed on an integer (p50 of ``[1, 2]`` returned 2;
+    p99 of 100 samples returned the maximum), so single-sample and
+    small-window snapshots reported the wrong percentile.
+    """
     if not samples:
         return 0.0
     if not 0.0 <= fraction <= 1.0:
         raise ValueError(f"fraction must be in [0, 1], got {fraction}")
     ordered = sorted(samples)
-    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    rank = min(
+        len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1)
+    )
     return ordered[rank]
 
 

@@ -114,6 +114,8 @@ class QueryService:
         backend: Optional[Any] = None,
         cache: Optional[GatewayCache] = None,
         tracer: Optional[CallTracer] = None,
+        feedback: Optional[Any] = None,
+        statistics: Optional[Any] = None,
     ) -> None:
         if not tenants:
             raise ServingError("a service needs at least one tenant")
@@ -124,6 +126,15 @@ class QueryService:
         self.backend = backend if backend is not None else scenario.server
         self.cache = cache
         self.tracer = tracer if tracer is not None else CallTracer(enabled=True)
+        #: When a :class:`~repro.core.feedback.FeedbackStore` is wired
+        #: in, tickets submitted without an explicit method are planned
+        #: per query with feedback-blended statistics, and every
+        #: completed plan records its predicted-vs-measured cost.  The
+        #: shared ``statistics`` registry amortizes sampling across
+        #: queries; concurrent first touches at worst duplicate a
+        #: sampling round (each worker charges its own tenant).
+        self.feedback = feedback
+        self.statistics = statistics
         self.metrics = ServiceMetrics()
         self.workers = workers
         self._queue = AdmissionQueue(capacity, workers=workers, max_inflight=1)
@@ -244,8 +255,46 @@ class QueryService:
             ledger=state.ledger,
         )
         context = JoinContext(self.scenario.catalog, client)
-        method = ticket.method if ticket.method is not None else TupleSubstitution()
+        method = ticket.method
+        if method is None and self.feedback is not None:
+            planned = self._plan_with_feedback(ticket.query, context)
+            if planned is not None:
+                return planned
+        if method is None:
+            method = TupleSubstitution()
         return method.execute(ticket.query, context)
+
+    def _plan_with_feedback(self, query: Any, context: JoinContext) -> Any:
+        """Cost-based planning with feedback-blended statistics.
+
+        Returns the finished execution, or None when the query is not a
+        single text join (multi-join queries keep the default path).
+        Statistics gathering and execution both charge the tenant's own
+        ledger; the feedback store only ever *reads* the spend
+        afterwards (DESIGN invariant 14).
+        """
+        from repro.core.feedback import corpus_fingerprint, query_key
+        from repro.core.inputs import build_cost_inputs
+        from repro.core.optimizer.single_join import choose_join_method
+        from repro.core.query import TextJoinQuery
+
+        if not isinstance(query, TextJoinQuery):
+            return None
+        inputs = build_cost_inputs(
+            query, context, registry=self.statistics, feedback=self.feedback
+        )
+        choice = choose_join_method(query, inputs)
+        ledger = context.client.ledger
+        before = ledger.snapshot()
+        execution = choice.method.execute(query, context)
+        self.feedback.observe_method(
+            corpus_fingerprint(self.backend),
+            query_key(query),
+            choice.name,
+            estimated_cost=choice.estimate.total,
+            actual_cost=ledger.diff(before).total,
+        )
+        return execution
 
     # ------------------------------------------------------------------
     # observability

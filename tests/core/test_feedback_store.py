@@ -1,0 +1,240 @@
+"""Persistence tests for :class:`repro.core.feedback.FeedbackStore`:
+hypothesis round-trips, fingerprint invalidation, corrupt stores."""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.feedback import (
+    DEFAULT_PRIOR_WEIGHT,
+    MAX_EVENTS,
+    MAX_METHOD_RUNS,
+    STORE_FORMAT,
+    FeedbackStore,
+)
+from repro.errors import FeedbackError, StatisticsError
+from repro.gateway.statistics import PredicateStatistics
+
+finite = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz.|:", min_size=1, max_size=12
+)
+
+predicate_ops = st.tuples(
+    names,  # fingerprint
+    names,  # column
+    names,  # field
+    st.integers(min_value=1, max_value=1000),  # searches
+    st.integers(min_value=-5, max_value=2000),  # matched (clamped)
+    finite,  # documents (clamped)
+)
+method_ops = st.tuples(names, names, names, finite, finite)
+event_ops = st.tuples(
+    st.sampled_from(["abort", "method", "node", "predicate"]),
+    names,
+    finite,
+    finite,
+    st.sampled_from(["rows", "seconds", "documents", "fanout"]),
+    names,
+)
+
+
+def populated_store(predicates, methods, events, prior_weight):
+    store = FeedbackStore(prior_weight=prior_weight)
+    for fingerprint, column, field, searches, matched, documents in predicates:
+        store.observe_predicate(
+            fingerprint, column, field, searches, matched, documents
+        )
+    for fingerprint, key, method, estimated, actual in methods:
+        store.observe_method(fingerprint, key, method, estimated, actual)
+    for kind, label, estimated, actual, unit, detail in events:
+        store.record_event(kind, label, estimated, actual, unit, detail)
+    return store
+
+
+class TestRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        predicates=st.lists(predicate_ops, max_size=8),
+        methods=st.lists(method_ops, max_size=8),
+        events=st.lists(event_ops, max_size=8),
+        prior_weight=st.floats(
+            min_value=0.0, max_value=1e6, allow_nan=False
+        ),
+    )
+    def test_payload_identity(self, predicates, methods, events, prior_weight):
+        store = populated_store(predicates, methods, events, prior_weight)
+        rebuilt = FeedbackStore.from_payload(store.to_payload())
+        assert rebuilt == store
+        assert rebuilt.summary() == store.summary()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        predicates=st.lists(predicate_ops, max_size=6),
+        methods=st.lists(method_ops, max_size=6),
+        events=st.lists(event_ops, max_size=6),
+    )
+    def test_save_load_identity(self, tmp_path_factory, predicates, methods,
+                                events):
+        store = populated_store(
+            predicates, methods, events, DEFAULT_PRIOR_WEIGHT
+        )
+        path = str(tmp_path_factory.mktemp("fb") / "store.json")
+        assert store.save(path) == path
+        loaded = FeedbackStore.load(path)
+        assert loaded == store
+        assert loaded.path == path
+        # Saving the load writes the identical payload again.
+        loaded.save()
+        assert FeedbackStore.load(path) == store
+
+    def test_observations_accumulate_across_a_round_trip(self, tmp_path):
+        path = str(tmp_path / "store.json")
+        store = FeedbackStore(path=path)
+        store.observe_predicate("fp", "c", "f", 4, 2, 8.0)
+        store.save()
+        reloaded = FeedbackStore.open(path)
+        reloaded.observe_predicate("fp", "c", "f", 4, 4, 8.0)
+        merged = reloaded.observation("fp", "c", "f")
+        assert merged.searches == 8
+        assert merged.matched == 6
+        assert merged.documents == 16.0
+
+    def test_bounded_history_survives_round_trips(self):
+        store = FeedbackStore()
+        for index in range(MAX_EVENTS + 50):
+            store.record_event("abort", f"e{index}", 1.0, 2.0)
+        for index in range(MAX_METHOD_RUNS + 50):
+            store.observe_method("fp", "q", "TS", 1.0, float(index))
+        payload = FeedbackStore.from_payload(store.to_payload()).to_payload()
+        assert len(payload["events"]) == MAX_EVENTS
+        assert payload["events"][0]["label"] == "e50"
+        runs = payload["methods"]["fp|q|TS"]["runs"]
+        assert len(runs) == MAX_METHOD_RUNS
+        assert runs[-1]["actual"] == float(MAX_METHOD_RUNS + 49)
+
+
+class TestFingerprintInvalidation:
+    PRIOR = PredicateStatistics("c", "f", selectivity=0.5, fanout=2.0)
+
+    def test_other_corpus_observations_never_apply(self):
+        store = FeedbackStore(prior_weight=1.0)
+        store.observe_predicate("corpus-a", "c", "f", 100, 100, 900.0)
+        assert store.blend(self.PRIOR, "corpus-b") == self.PRIOR
+        blended = store.blend(self.PRIOR, "corpus-a")
+        assert blended.fanout > self.PRIOR.fanout
+
+    def test_stale_observations_stay_isolated_after_reload(self, tmp_path):
+        path = str(tmp_path / "store.json")
+        store = FeedbackStore(path=path, prior_weight=1.0)
+        store.observe_predicate("corpus-a", "c", "f", 100, 100, 900.0)
+        store.save()
+        reloaded = FeedbackStore.load(path)
+        assert reloaded.blend(self.PRIOR, "corpus-b") == self.PRIOR
+        assert reloaded.observation("corpus-b", "c", "f") is None
+        assert reloaded.observation("corpus-a", "c", "f") is not None
+
+
+class TestCorruptStores:
+    def _reject(self, tmp_path, content):
+        path = str(tmp_path / "store.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(content)
+        with pytest.raises(FeedbackError):
+            FeedbackStore.load(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FeedbackError):
+            FeedbackStore.load(str(tmp_path / "absent.json"))
+
+    def test_truncated_json(self, tmp_path):
+        store = FeedbackStore()
+        store.observe_predicate("fp", "c", "f", 4, 2, 8.0)
+        full = json.dumps(store.to_payload())
+        self._reject(tmp_path, full[: len(full) // 2])
+
+    def test_not_an_object(self, tmp_path):
+        self._reject(tmp_path, "[1, 2, 3]")
+
+    def test_wrong_format_version(self, tmp_path):
+        self._reject(tmp_path, json.dumps({"format": STORE_FORMAT + 1}))
+
+    def test_non_numeric_counts(self, tmp_path):
+        payload = {
+            "format": STORE_FORMAT,
+            "predicates": {
+                "k": {
+                    "fingerprint": "fp",
+                    "column": "c",
+                    "field": "f",
+                    "searches": "many",
+                    "matched": 1,
+                    "documents": 2.0,
+                }
+            },
+        }
+        self._reject(tmp_path, json.dumps(payload))
+
+    def test_out_of_range_counts(self, tmp_path):
+        payload = {
+            "format": STORE_FORMAT,
+            "predicates": {
+                "k": {
+                    "fingerprint": "fp",
+                    "column": "c",
+                    "field": "f",
+                    "searches": 2,
+                    "matched": 5,  # matched > searches
+                    "documents": 2.0,
+                }
+            },
+        }
+        self._reject(tmp_path, json.dumps(payload))
+
+    def test_nan_smuggled_in(self, tmp_path):
+        # json.dumps happily writes NaN; loading must refuse it rather
+        # than let it poison a blend.
+        payload = {
+            "format": STORE_FORMAT,
+            "prior_weight": float("nan"),
+        }
+        self._reject(tmp_path, json.dumps(payload))
+
+    def test_corrupt_store_never_yields_estimates(self, tmp_path):
+        """The contract: a broken store is a clean typed error up front,
+        never a store that silently hands out wrong blends."""
+        path = str(tmp_path / "store.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{broken")
+        with pytest.raises(FeedbackError):
+            FeedbackStore.open(path)
+
+    def test_save_needs_a_path(self):
+        with pytest.raises(FeedbackError):
+            FeedbackStore().save()
+
+    def test_atomic_save_leaves_no_temp_droppings(self, tmp_path):
+        path = str(tmp_path / "store.json")
+        store = FeedbackStore()
+        store.observe_predicate("fp", "c", "f", 4, 2, 8.0)
+        store.save(path)
+        store.save(path)
+        assert sorted(os.listdir(tmp_path)) == ["store.json"]
+
+
+class TestConstruction:
+    def test_negative_prior_weight_rejected(self):
+        with pytest.raises((FeedbackError, StatisticsError)):
+            FeedbackStore(prior_weight=-1.0)
+
+    def test_open_creates_fresh_bound_store(self, tmp_path):
+        path = str(tmp_path / "new.json")
+        store = FeedbackStore.open(path, prior_weight=2.0)
+        assert store.path == path
+        assert store.prior_weight == 2.0
+        assert not os.path.exists(path)  # nothing written until save()
