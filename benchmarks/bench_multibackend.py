@@ -1,0 +1,189 @@
+"""Heterogeneous backends behind one optimizer: the joint-query benchmark.
+
+The acceptance benchmark for the multi-backend tentpole
+(:mod:`repro.bench.multibackend`): ONE query joins the ``student``
+relation against a Boolean text source *and* a vector (ranked) source,
+and the optimizer must choose per-predicate, per-backend:
+
+- the Boolean half keeps the full Section 3 method space and its
+  probe-based pruning — the planted advisor column makes a ``P(...)``
+  method win;
+- the vector half is restricted to the ranked strategy space (Section 8:
+  ranking breaks the monotonicity the probe methods rely on) — one
+  distinct binding makes ``V-TOPK`` win, and sweeping the binding count
+  up (``student.name``: 14 bindings) flips the choice to ``V-SCAN``;
+- every foreign charge lands on its own backend's ledger with its own
+  constants, and the registry-wide total is exactly the per-backend sum
+  (DESIGN invariant 15).
+
+Run standalone for the full report, or ``--smoke`` for the CI sanity
+pass (same assertions, one paragraph of output).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import pytest
+
+from repro.bench.multibackend import (
+    build_multibackend_scenario,
+    multibackend_report,
+)
+from repro.core.joinmethods import VectorCorpusScan, VectorTopKProbe
+from repro.core.joinmethods.vector import vector_joining_rows
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_multibackend_scenario(seed=11, document_count=300)
+
+
+def test_optimizer_splits_methods_per_backend(scenario):
+    """EXPLAIN shows a probe method for Boolean, a top-k for vector."""
+    report = multibackend_report(scenario)
+    explain = report["explain"]
+    print()
+    print(explain)
+    assert "Chosen: P(" in explain
+    assert "Chosen: V-TOPK" in explain
+    assert report["plan"].boolean_choice.estimate.method.startswith("P(")
+    assert report["plan"].vector_choice.name.startswith("V-TOPK")
+
+
+def test_joint_query_returns_ranked_coauthors(scenario):
+    """End to end: the planted co-authoring students come back, ranked."""
+    report = multibackend_report(scenario)
+    execution = report["execution"]
+    names = {row["student.name"] for row in execution.rows}
+    assert names  # the planted co-author/advisor overlap survives
+    assert names <= set(scenario.parameters["coauthors"])
+    for row, matches in execution.row_matches:
+        assert matches, "every surviving tuple must carry ranked matches"
+        scores = [entry.score for entry in matches]
+        assert scores == sorted(scores, reverse=True)
+        assert all(score > 0.0 for score in scores)
+
+
+def test_binding_count_flips_topk_to_scan(scenario):
+    """14 distinct bindings make the corpus dump cheaper than 14 probes."""
+    single = multibackend_report(scenario, vector_column="student.area")
+    many = multibackend_report(scenario, vector_column="student.name")
+    assert single["plan"].vector_choice.name.startswith("V-TOPK")
+    assert many["plan"].vector_choice.name == "V-SCAN"
+    # The estimates justify the flip, not just the labels.
+    by_name = {c.name: c.estimate.total for c in many["plan"].vector_choices}
+    assert by_name["V-SCAN"] < by_name["V-TOPK(k=5)"]
+
+
+def test_charges_attributed_per_backend(scenario):
+    """Invariant 15: each half charges its own ledger; total = sum."""
+    report = multibackend_report(scenario)
+    accounts = scenario.registry.report()
+    assert accounts["mercury"]["source_kind"] == "boolean"
+    assert accounts["vsim"]["source_kind"] == "vector"
+    assert accounts["mercury"]["total"] > 0
+    assert accounts["vsim"]["total"] > 0
+    assert report["registry_total"] == pytest.approx(
+        accounts["mercury"]["total"] + accounts["vsim"]["total"]
+    )
+    execution = report["execution"]
+    assert execution.boolean_execution.cost.total == pytest.approx(
+        accounts["mercury"]["total"]
+    )
+    assert execution.vector_execution.cost.total == pytest.approx(
+        accounts["vsim"]["total"]
+    )
+
+
+def test_both_strategies_return_identical_matches(scenario):
+    """V-TOPK and V-SCAN differ in cost only, never in answers."""
+    for column in ("student.area", "student.name"):
+        query = scenario.query(vector_column=column)
+        rows = vector_joining_rows(
+            scenario.vector_context(), "student", base_query=query.boolean
+        )
+        probe = VectorTopKProbe().run(
+            query.vector, rows, scenario.vector_context()
+        )
+        scan = VectorCorpusScan().run(
+            query.vector, rows, scenario.vector_context()
+        )
+        assert probe.result_keys() == scan.result_keys()
+        assert scan.searches == 1
+        if column == "student.area":
+            # One shared area: one probe, and planted topic words match.
+            assert probe.searches == 1
+            assert probe.result_keys()
+        else:
+            # 14 distinct names: probes scale with bindings.
+            assert probe.searches == len(rows) > 1
+
+
+# ----------------------------------------------------------------------
+# standalone entry point (full report / CI smoke)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--docs", type=int, default=300, help="corpus size (default 300)"
+    )
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="assert the method split and attribution, print one paragraph",
+    )
+    options = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    scenario = build_multibackend_scenario(
+        seed=options.seed, document_count=options.docs
+    )
+    print(
+        f"built {options.docs} documents behind 2 backends "
+        f"({', '.join(scenario.registry.names())}) "
+        f"in {time.perf_counter() - started:.1f}s"
+    )
+
+    report = multibackend_report(scenario)
+    boolean_method = report["plan"].boolean_choice.estimate.method
+    vector_method = report["plan"].vector_choice.name
+    if not options.smoke:
+        print()
+        print(report["explain"])
+        print()
+    if not (boolean_method.startswith("P(") and vector_method.startswith("V-TOPK")):
+        print(f"FAIL: expected P(...) + V-TOPK, got {boolean_method} + {vector_method}")
+        return 1
+    rows = len(report["execution"].rows)
+    if rows == 0:
+        print("FAIL: joint query returned no rows")
+        return 1
+
+    accounts = scenario.registry.report()
+    total = accounts["mercury"]["total"] + accounts["vsim"]["total"]
+    if abs(report["registry_total"] - total) > 1e-9:
+        print("FAIL: registry total is not the per-backend sum")
+        return 1
+    print(report["attribution"])
+
+    flipped = multibackend_report(scenario, vector_column="student.name")
+    if flipped["plan"].vector_choice.name != "V-SCAN":
+        print("FAIL: high-cardinality column did not flip V-TOPK to V-SCAN")
+        return 1
+
+    print(
+        f"OK: {boolean_method} + {vector_method} -> {rows} ranked rows; "
+        f"14-binding column flips to V-SCAN; attribution exact "
+        f"({report['registry_total']:.2f}s = "
+        f"{accounts['mercury']['total']:.2f}s mercury + "
+        f"{accounts['vsim']['total']:.2f}s vsim)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,9 @@ Usage::
     python -m repro multijoin       # E8: PrL vs left-deep
     python -m repro enumeration     # E9: optimizer effort vs n
     python -m repro trace           # gateway cache + foreign-call trace
+    python -m repro multibackend    # Boolean + vector sources, one optimizer
     python -m repro serve           # concurrent multi-tenant serving demo
+    python -m repro serve --vector  # ...with a second, ranked backend
     python -m repro index build --synthetic 100000 --out corpus.ridx
     python -m repro index stats corpus.ridx
     python -m repro index query corpus.ridx --expr "TI='database'"
@@ -263,7 +265,27 @@ def _print_sharded_report(transport) -> None:
     )
 
 
-def _print_serving(scenario, feedback=None) -> None:
+def _print_multibackend(seed: int) -> None:
+    """The heterogeneous tentpole: one query, two backends, one optimizer."""
+    from repro.bench.multibackend import (
+        build_multibackend_scenario,
+        multibackend_report,
+    )
+
+    scenario = build_multibackend_scenario(seed=seed)
+    report = multibackend_report(scenario)
+    print(report["explain"])
+    print()
+    print(report["attribution"])
+    flipped = multibackend_report(scenario, vector_column="student.name")
+    print(
+        f"\n{len(report['execution'].rows)} ranked result rows; sweeping the "
+        f"vector column to 14 distinct bindings flips the ranked strategy "
+        f"to {flipped['plan'].vector_choice.name}"
+    )
+
+
+def _print_serving(scenario, feedback=None, vector_server=None) -> None:
     """A mixed-tenant serving session over whatever backend is wired in."""
     import time as _time
 
@@ -282,6 +304,20 @@ def _print_serving(scenario, feedback=None) -> None:
         query_id = "q2" if round_index % 2 == 0 else "q4"
         for spec in tenants:
             submissions.append((spec.name, query_id))
+    if vector_server is not None:
+        from repro.textsys.vector import VectorQuery
+
+        # Every tenant mixes one ranked search into its load; charges
+        # land on the per-tenant *vector* ledgers (invariant 15).
+        for spec in tenants:
+            submissions.append(
+                (
+                    spec.name,
+                    VectorQuery(
+                        vector_server.field, ("belief", "update"), top_k=5
+                    ),
+                )
+            )
 
     service = QueryService(
         scenario,
@@ -291,6 +327,7 @@ def _print_serving(scenario, feedback=None) -> None:
         cache=scenario.shared_cache,
         feedback=feedback,
         statistics=TextStatisticsRegistry() if feedback is not None else None,
+        vector_backend=vector_server,
     )
     refused = 0
     with service:
@@ -342,6 +379,19 @@ def _print_serving(scenario, feedback=None) -> None:
         ["breaker states", ", ".join(snapshot["breaker_states"]) or "-"],
     ]
     print(ascii_table(["serving metric", "value"], rows))
+    if vector_server is not None:
+        totals = service.vector_ledger_totals()
+        print(
+            ascii_table(
+                ["tenant", "vector ledger (s)", "vector searches"],
+                [
+                    [name, round(total, 2),
+                     service.tenant(name).vector_ledger.searches]
+                    for name, total in totals.items()
+                ],
+                title="Vector-backend attribution (per-tenant, invariant 15)",
+            )
+        )
     if feedback is not None:
         summary = feedback.summary()
         print(
@@ -609,7 +659,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment",
         choices=[
             "table2", "ranking", "figures", "multijoin", "enumeration",
-            "trace", "serve", "all",
+            "trace", "multibackend", "serve", "all",
         ],
         help="which experiment(s) to run",
     )
@@ -653,6 +703,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="failover replicas per shard (only meaningful with --shards)",
     )
     parser.add_argument(
+        "--vector",
+        action="store_true",
+        help="serve only: add a second, ranked (vector-space) backend; "
+        "tenants mix top-k similarity searches into their load, charged "
+        "to separate per-tenant vector ledgers",
+    )
+    parser.add_argument(
         "--feedback",
         metavar="PATH",
         help="record estimate-vs-actual feedback into this store "
@@ -673,7 +730,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     scenario = build_default_scenario(seed=arguments.seed) if needs_scenario else None
     tracer = None
     transport = None
+    vector_server = None
     if scenario is not None:
+        if arguments.vector and arguments.experiment == "serve":
+            from repro.textsys.vectorserver import VectorTextServer
+
+            # Rank titles of the SAME corpus through a second source with
+            # its own semantics and constants (built before any transport
+            # wrapping replaces scenario.server).
+            vector_server = VectorTextServer(scenario.server.store, "title")
         if arguments.trace:
             tracer = CallTracer(enabled=True)
             scenario.shared_tracer = tracer
@@ -737,8 +802,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if arguments.experiment in ("trace", "all"):
         _print_trace(scenario)
         ran_any = True
+    if arguments.experiment in ("multibackend", "all"):
+        if arguments.experiment == "all":
+            print()
+        _print_multibackend(arguments.seed)
+        ran_any = True
     if arguments.experiment == "serve":
-        _print_serving(scenario, feedback=feedback)
+        _print_serving(scenario, feedback=feedback, vector_server=vector_server)
         ran_any = True
     if tracer is not None and tracer.spans:
         print()

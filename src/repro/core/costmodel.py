@@ -46,6 +46,7 @@ from repro.gateway.statistics import PredicateStatistics, joint_fanout, joint_se
 __all__ = [
     "SelectionStatistics",
     "QueryCostInputs",
+    "VectorCostInputs",
     "CostEstimate",
     "cost_ts",
     "cost_probe_phase",
@@ -55,6 +56,8 @@ __all__ = [
     "cost_sj_rtp",
     "cost_p_rtp",
     "cost_probe_semijoin",
+    "cost_vector_topk",
+    "cost_vector_scan",
 ]
 
 
@@ -104,6 +107,10 @@ class QueryCostInputs:
     #: Fields visible in short-form results (``None`` = all).  RTP-family
     #: methods can only string-match predicates on visible fields.
     rtp_fields: Optional[FrozenSet[str]] = None
+    #: The backend's predicate semantics.  The Section 3–5 method space
+    #: is priced for Boolean sources only; the enumerator refuses these
+    #: inputs for any other kind (per-backend method legality).
+    source_kind: str = "boolean"
 
     def fields_visible(self, fields) -> bool:
         """Can RTP see all of these fields in short-form documents?"""
@@ -425,4 +432,88 @@ def cost_probe_semijoin(
         processing=probe.processing,
         transmission_short=probe.transmission_short,
         searches=probe.searches,
+    )
+
+
+# ----------------------------------------------------------------------
+# vector-backend method cost formulas (Section 8 / heterogeneous plans)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class VectorCostInputs:
+    """What the vector-backend strategies need for one ranked predicate.
+
+    The Section 4.3 machinery does not transfer: a ranked predicate has
+    no selectivity/fanout in the Boolean sense — its result size is the
+    query's own ``top_k`` (or the threshold survivors), so the two
+    strategies are priced directly from the backend's constants:
+
+    - ``binding_count`` (``n``): distinct non-NULL join bindings;
+    - ``postings_per_search``: mean inverted-list postings one ranked
+      search reads (measured from per-binding document frequencies);
+    - ``expected_results``: mean short-form documents one search returns
+      (bounded above by ``top_k``);
+    - ``scan_visible``: whether the ranked field travels in short forms,
+      which is what lets V-SCAN score locally (the RTP applicability
+      condition, transplanted).
+    """
+
+    constants: CostConstants
+    document_count: int  # D
+    binding_count: float  # n
+    postings_per_search: float
+    expected_results: float
+    top_k: Optional[int] = 10
+    threshold: float = 0.0
+    scan_visible: bool = True
+
+    def __post_init__(self) -> None:
+        if self.binding_count < 0:
+            raise StatisticsError("binding count must be non-negative")
+        if self.document_count < 0:
+            raise StatisticsError("document count must be non-negative")
+        if self.postings_per_search < 0:
+            raise StatisticsError("postings per search must be non-negative")
+        if self.expected_results < 0:
+            raise StatisticsError("expected results must be non-negative")
+
+
+def cost_vector_topk(inputs: VectorCostInputs) -> CostEstimate:
+    """One ranked search per distinct binding (the TS analogue).
+
+    ``C_V-TOPK = c_i n + c_p n I + c_s n E`` where ``I`` is the mean
+    postings per search and ``E <= top_k`` the mean result size.
+    """
+    n = inputs.binding_count
+    constants = inputs.constants
+    k = "all" if inputs.top_k is None else inputs.top_k
+    return CostEstimate(
+        method=f"V-TOPK(k={k})",
+        searches=n,
+        invocation=constants.invocation * n,
+        processing=constants.per_posting * n * inputs.postings_per_search,
+        transmission_short=constants.short_form * n * inputs.expected_results,
+    )
+
+
+def cost_vector_scan(inputs: VectorCostInputs) -> CostEstimate:
+    """One corpus dump, then local scoring per (document, binding) pair.
+
+    ``C_V-SCAN = c_i + c_s D + c_a D n``: a single empty-query search at
+    a negative threshold transmits every short form once (no postings —
+    nothing is looked up), after which each binding is scored locally
+    against all ``D`` documents at ``c_a`` apiece (the RTP analogue).
+    Only applicable when the ranked field is short-form visible.
+    """
+    if not inputs.scan_visible:
+        raise StatisticsError(
+            "V-SCAN needs the ranked field in short-form results"
+        )
+    constants = inputs.constants
+    d = float(inputs.document_count)
+    return CostEstimate(
+        method="V-SCAN",
+        searches=1,
+        invocation=constants.invocation,
+        transmission_short=constants.short_form * d,
+        rtp=constants.rtp_per_document * d * inputs.binding_count,
     )

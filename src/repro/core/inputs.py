@@ -25,6 +25,7 @@ from typing import Dict, FrozenSet, Optional, Sequence
 from repro.core.costmodel import QueryCostInputs, SelectionStatistics
 from repro.core.joinmethods.base import JoinContext, joining_rows, selection_nodes
 from repro.core.query import TextJoinQuery
+from repro.errors import OptimizationError
 from repro.gateway.sampling import (
     exact_predicate_statistics,
     sample_predicate_statistics,
@@ -81,6 +82,18 @@ def build_cost_inputs(
     evolve between runs without poisoning the cache.
     """
     client = context.client
+    source_kind = getattr(client, "source_kind", "boolean")
+    if source_kind != "boolean":
+        # Fail before sampling: the Section 4.2 statistics below are
+        # gathered with Boolean probes a ranking backend rejects, and the
+        # Section 3 method space they feed is unsound there anyway
+        # (Section 8).  Ranked predicates go through
+        # ``build_vector_cost_inputs`` in ``repro.core.heterogeneous``.
+        raise OptimizationError(
+            f"Boolean cost inputs cannot be gathered from a "
+            f"{source_kind!r} backend; use the heterogeneous planner's "
+            f"vector strategy space instead"
+        )
     rows = joining_rows(context, query)
     columns = query.join_columns
 
@@ -143,4 +156,5 @@ def build_cost_inputs(
         distinct_counts=distinct_counts_for(rows, columns),
         batch_limit=getattr(client.server, "batch_limit", None),
         rtp_fields=frozenset(client.server.store.short_fields),
+        source_kind=source_kind,
     )

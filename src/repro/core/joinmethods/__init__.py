@@ -8,12 +8,18 @@
   searches within the term limit M;
 - :class:`ProbeTupleSubstitution` (P+TS), :class:`ProbeRtp` (P+RTP),
   :class:`ProbeSemiJoin` — probing-based methods that prune fail-queries.
+
+Ranked (vector) backends get a separate strategy space —
+:class:`VectorTopKProbe` (V-TOPK) and :class:`VectorCorpusScan` (V-SCAN)
+— because every Section 3 method assumes Boolean monotone semantics;
+:func:`ensure_method_legal` enforces the split.
 """
 
 from repro.core.joinmethods.base import (
     JoinContext,
     JoinMethod,
     MethodExecution,
+    ensure_method_legal,
     group_by_columns,
     instantiate_predicates,
     joining_rows,
@@ -36,11 +42,24 @@ from repro.core.joinmethods.semijoin import (
     batch_conjuncts,
 )
 from repro.core.joinmethods.tuple_substitution import TupleSubstitution
+from repro.core.joinmethods.vector import (
+    VectorCorpusScan,
+    VectorExecution,
+    VectorJoinStrategy,
+    VectorTopKProbe,
+    vector_joining_rows,
+)
 
 __all__ = [
     "JoinContext",
     "JoinMethod",
     "MethodExecution",
+    "ensure_method_legal",
+    "VectorExecution",
+    "VectorJoinStrategy",
+    "VectorTopKProbe",
+    "VectorCorpusScan",
+    "vector_joining_rows",
     "TupleSubstitution",
     "BatchedTupleSubstitution",
     "cost_batched_ts",

@@ -31,7 +31,7 @@ from repro.core.query import (
     TextJoinQuery,
     TextSelection,
 )
-from repro.errors import JoinMethodError
+from repro.errors import JoinMethodError, OptimizationError
 from repro.gateway.client import TextClient
 from repro.gateway.costs import CostLedger
 from repro.relational.catalog import Catalog
@@ -46,6 +46,7 @@ __all__ = [
     "JoinContext",
     "MethodExecution",
     "JoinMethod",
+    "ensure_method_legal",
     "effective_term_limit",
     "joining_rows",
     "selection_node",
@@ -127,11 +128,19 @@ class JoinMethod:
     #: Short name used in tables and plan annotations ("TS", "P+TS", ...).
     name: str = "?"
 
+    #: The predicate semantics this method is sound under.  Every method
+    #: of Section 3 assumes the Boolean model: probe-based pruning and
+    #: semijoin term-subset batching rely on query *monotonicity* (more
+    #: terms can only shrink the answer), which ranking backends violate
+    #: (Section 8) — adding a term can ADD answers under cosine top-k.
+    source_kind: str = "boolean"
+
     def applicable(self, query: TextJoinQuery, context: JoinContext) -> bool:
         """Can this method evaluate this query at all?"""
         raise NotImplementedError
 
     def check_applicable(self, query: TextJoinQuery, context: JoinContext) -> None:
+        ensure_method_legal(self, getattr(context.client, "source_kind", "boolean"))
         if not self.applicable(query, context):
             raise JoinMethodError(f"{self.name} is not applicable to {query!r}")
 
@@ -146,6 +155,24 @@ class JoinMethod:
 # ----------------------------------------------------------------------
 # shared building blocks
 # ----------------------------------------------------------------------
+def ensure_method_legal(method: "JoinMethod", source_kind: str) -> None:
+    """Refuse to run a method against a backend it is unsound for.
+
+    Per-backend method legality (DESIGN invariant 15's soundness side):
+    a probe-based or semijoin method forced — via an explicit method
+    override — against a non-Boolean source would silently drop answers
+    that ranking semantics can add, so the mismatch is a typed
+    :class:`~repro.errors.OptimizationError`, never a wrong answer.
+    """
+    required = getattr(method, "source_kind", "boolean")
+    if source_kind != required:
+        raise OptimizationError(
+            f"{method.name} assumes a {required!r} source (its pruning "
+            f"relies on Boolean monotonicity, Section 8); this backend is "
+            f"{source_kind!r}"
+        )
+
+
 def effective_term_limit(context: JoinContext) -> int:
     """The per-search term budget available right now.
 

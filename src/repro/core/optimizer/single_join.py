@@ -71,6 +71,18 @@ def enumerate_method_choices(
     must be a proper, non-empty subset of the join columns); the pure
     probe method answers only tuple-shaped semi-joins.
     """
+    source_kind = getattr(inputs, "source_kind", "boolean")
+    if source_kind != "boolean":
+        # Per-backend method legality: every method below assumes Boolean
+        # monotone semantics (probing prunes, semijoins batch term
+        # subsets), which ranking backends violate — Section 8.  Vector
+        # predicates are planned by the heterogeneous planner's own
+        # strategy space (V-TOPK / V-SCAN), never this one.
+        raise OptimizationError(
+            f"the Section 3 method space is sound only for Boolean "
+            f"sources; this backend is {source_kind!r} (see "
+            f"repro.core.heterogeneous for ranked predicates)"
+        )
     choices: List[MethodChoice] = []
     predicate_fields = [p.field for p in query.join_predicates]
     rtp_possible = inputs.fields_visible(predicate_fields)

@@ -33,6 +33,7 @@ from repro.textsys.documents import Document
 __all__ = [
     "TextSelection",
     "TextJoinPredicate",
+    "VectorJoinPredicate",
     "ResultShape",
     "TextJoinQuery",
     "JoinedPair",
@@ -75,6 +76,36 @@ class TextJoinPredicate:
 
     def __repr__(self) -> str:
         return f"{self.column} in {self.field}"
+
+
+@dataclass(frozen=True)
+class VectorJoinPredicate:
+    """A *ranked* foreign join predicate against a vector backend.
+
+    ``<relation column> ~ <ranked field>``: each joining tuple's column
+    value becomes a bag-of-words similarity query against the backend's
+    ranked field, answered as the top-``k`` documents scoring strictly
+    above ``threshold``.  Unlike :class:`TextJoinPredicate` this match
+    is not monotone in the query terms (Section 8), so it gets its own
+    strategy space (V-TOPK / V-SCAN) and never the Section 3 methods.
+    """
+
+    column: str  # qualified relational column, e.g. 'student.interests'
+    field: str  # ranked text field name, e.g. 'abstract'
+    top_k: Optional[int] = 10
+    threshold: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.column:
+            raise PlanError("vector join predicate column must be non-empty")
+        if not self.field:
+            raise PlanError("vector join predicate field must be non-empty")
+        if self.top_k is not None and self.top_k < 1:
+            raise PlanError("top_k must be positive when given")
+
+    def __repr__(self) -> str:
+        k = "all" if self.top_k is None else self.top_k
+        return f"{self.column} ~ {self.field} (k={k}, t>{self.threshold!r})"
 
 
 class ResultShape(enum.Enum):

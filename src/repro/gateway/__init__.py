@@ -14,7 +14,13 @@ from repro.gateway.cache import (
     SearchCache,
 )
 from repro.gateway.client import SearchCall, TextClient
-from repro.gateway.costs import PAPER_CONSTANTS, CostConstants, CostLedger
+from repro.gateway.costs import (
+    PAPER_CONSTANTS,
+    VECTOR_CONSTANTS,
+    CostConstants,
+    CostLedger,
+)
+from repro.gateway.registry import BackendBinding, BackendRegistry
 from repro.gateway.tracing import CallSpan, CallTracer, format_trace
 from repro.gateway.published import (
     FieldStatistics,
@@ -39,6 +45,9 @@ __all__ = [
     "CostConstants",
     "CostLedger",
     "PAPER_CONSTANTS",
+    "VECTOR_CONSTANTS",
+    "BackendBinding",
+    "BackendRegistry",
     "GatewayCache",
     "SearchCache",
     "RetrieveCache",

@@ -447,6 +447,18 @@ class TextClient:
         """``M``, the per-search basic-term limit."""
         return self.server.term_limit
 
+    @property
+    def source_kind(self) -> str:
+        """The backend's predicate semantics: ``"boolean"`` or ``"vector"``.
+
+        Published by the server (remote transports relay it in their
+        meta frame); servers that predate the heterogeneous-backend work
+        are Boolean.  The optimizer's method-legality check reads this —
+        probe-based methods are sound only against ``"boolean"`` sources
+        (Section 8).
+        """
+        return getattr(self.server, "source_kind", "boolean")
+
     def reset_accounting(self, include_cache_stats: bool = False) -> None:
         """Zero the ledger and the trace (server counters and cache kept).
 

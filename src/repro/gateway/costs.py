@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import GatewayError
 
-__all__ = ["CostConstants", "CostLedger", "PAPER_CONSTANTS"]
+__all__ = ["CostConstants", "CostLedger", "PAPER_CONSTANTS", "VECTOR_CONSTANTS"]
 
 
 @dataclass(frozen=True)
@@ -62,6 +62,23 @@ class CostConstants:
 
 #: The constants measured on the live OpenODB ↔ Mercury integration.
 PAPER_CONSTANTS = CostConstants()
+
+#: Default constants for the vector-space backend (Section 8 / ROADMAP
+#: item 4).  Each external source carries its *own* ``c_i, c_p, c_s,
+#: c_l`` — the paper calibrated one Boolean server; a ranking backend
+#: pays more per posting (weighted accumulation instead of a sorted-list
+#: merge) and per short-form document (each carries a score), while its
+#: relational-side scoring constant is smaller than Boolean ``c_a``
+#: (a dot product over a cached query vector beats SQL substring
+#: matching).  The registry attributes charges per backend with these
+#: (DESIGN invariant 15).
+VECTOR_CONSTANTS = CostConstants(
+    invocation=3.0,
+    per_posting=0.00002,
+    short_form=0.02,
+    long_form=4.0,
+    rtp_per_document=0.0005,
+)
 
 
 @dataclass

@@ -41,6 +41,7 @@ from repro.textsys.query import (
     TruncatedQuery,
 )
 from repro.textsys.result import ResultSet
+from repro.textsys.vector import VectorQuery
 
 __all__ = [
     "node_to_wire",
@@ -82,6 +83,16 @@ def node_to_wire(node: SearchNode) -> Dict[str, Any]:
         return {"type": "or", "operands": [node_to_wire(op) for op in node.operands]}
     if isinstance(node, NotQuery):
         return {"type": "not", "operand": node_to_wire(node.operand)}
+    if isinstance(node, VectorQuery):
+        # The vector backend's query object travels the same tagged
+        # frame; ``top_k=None`` (no truncation) is JSON null.
+        return {
+            "type": "vector",
+            "field": node.field,
+            "terms": list(node.terms),
+            "top_k": node.top_k,
+            "threshold": node.threshold,
+        }
     raise RemoteProtocolError(f"cannot encode search node {type(node).__name__}")
 
 
@@ -105,6 +116,13 @@ def node_from_wire(wire: Dict[str, Any]) -> SearchNode:
             return OrQuery(tuple(node_from_wire(op) for op in wire["operands"]))
         if kind == "not":
             return NotQuery(node_from_wire(wire["operand"]))
+        if kind == "vector":
+            return VectorQuery(
+                wire["field"],
+                tuple(wire["terms"]),
+                top_k=wire["top_k"],
+                threshold=wire["threshold"],
+            )
     except (KeyError, TypeError) as exc:
         raise RemoteProtocolError(f"malformed search-node wire object: {exc}") from exc
     raise RemoteProtocolError(f"unknown search-node type {kind!r}")
@@ -125,11 +143,16 @@ def document_from_wire(wire: Dict[str, Any]) -> Document:
 
 
 def result_to_wire(result: ResultSet) -> Dict[str, Any]:
-    return {
+    wire = {
         "docids": list(result.docids),
         "documents": [document_to_wire(document) for document in result.documents],
         "postings_processed": result.postings_processed,
     }
+    if result.scores:
+        # Ranked results carry one score per docid; Boolean results omit
+        # the key entirely (old frames stay decodable).
+        wire["scores"] = list(result.scores)
+    return wire
 
 
 def result_from_wire(wire: Dict[str, Any]) -> ResultSet:
@@ -140,6 +163,7 @@ def result_from_wire(wire: Dict[str, Any]) -> ResultSet:
                 document_from_wire(document) for document in wire["documents"]
             ),
             postings_processed=wire["postings_processed"],
+            scores=tuple(wire.get("scores", ())),
         )
     except (KeyError, TypeError) as exc:
         raise RemoteProtocolError(f"malformed result-set wire object: {exc}") from exc

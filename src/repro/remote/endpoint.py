@@ -115,4 +115,5 @@ class TextServerEndpoint:
             "term_limit": self.server.term_limit,
             "data_version": getattr(self.server, "data_version", 0),
             "data_fingerprint": list(fingerprint) if fingerprint is not None else None,
+            "source_kind": getattr(self.server, "source_kind", "boolean"),
         }

@@ -48,7 +48,9 @@ from repro.textsys.parser import parse_search
 from repro.textsys.query import SearchNode
 from repro.textsys.result import ResultSet
 from repro.textsys.server import BooleanTextServer, ServerCounters
-from repro.textsys.sharding import ShardedCorpus, partition_store
+from repro.textsys.sharding import ShardedCorpus, merge_scored_results, partition_store
+from repro.textsys.vector import VectorQuery
+from repro.textsys.vectorserver import VectorTextServer, build_vector_shard_servers
 
 __all__ = [
     "ShardBackend",
@@ -202,6 +204,11 @@ class ShardedTextTransport:
     def batch_limit(self) -> int:
         return min(backend.primary.batch_limit for backend in self.backends)
 
+    @property
+    def source_kind(self) -> str:
+        """The shards' predicate semantics (uniform by construction)."""
+        return self.backends[0].primary.source_kind
+
     # ------------------------------------------------------------------
     # published meta information (merged across shards)
     # ------------------------------------------------------------------
@@ -236,7 +243,7 @@ class ShardedTextTransport:
         partials = self._scatter_all(
             lambda transport, query=query: transport.search(query)
         )
-        return self.corpus.merge_results(partials)
+        return self._merge(query, partials)
 
     def search_batch(
         self, queries: Sequence[Union[SearchNode, str]]
@@ -257,8 +264,8 @@ class ShardedTextTransport:
             lambda transport, parsed=parsed: transport.search_batch(parsed)
         )
         return [
-            self.corpus.merge_results([answers[position] for answers in per_shard])
-            for position in range(len(parsed))
+            self._merge(query, [answers[position] for answers in per_shard])
+            for position, query in enumerate(parsed)
         ]
 
     def retrieve(self, docid: str) -> Document:
@@ -384,6 +391,20 @@ class ShardedTextTransport:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _merge(self, query: Any, partials: List[ResultSet]) -> ResultSet:
+        """Merge per-shard answers with the query's own semantics.
+
+        Boolean results restore the single-server docid ordering
+        (:meth:`ShardedCorpus.merge_results`); ranked results re-sort by
+        ``(-score, docid)`` and re-truncate to the *global* top-k — each
+        shard already ranked locally, and the global top-k is a subset
+        of the union of the shard top-ks, so local truncation loses
+        nothing.
+        """
+        if isinstance(query, VectorQuery):
+            return merge_scored_results(partials, query.top_k)
+        return self.corpus.merge_results(partials)
+
     def _ensure_pool(self) -> ThreadPoolExecutor:
         with self._lock:
             if self._pool is None:
@@ -483,14 +504,41 @@ def build_sharded_transport(
         # change never swaps evaluation kernels underneath the caller.
         engine_mode = getattr(source_server, "engine_mode", None)
     corpus = partition_store(store, shards, scheme=scheme)
+    vector_field = None
+    vector_servers: List[VectorTextServer] = []
+    if getattr(source_server, "source_kind", "boolean") == "vector":
+        # Vector shards must score with *global* collection statistics
+        # (idf, document norms) so per-shard rankings merge into exactly
+        # the unsharded ranking; build_vector_shard_servers measures the
+        # statistics once on the source corpus and injects them.
+        vector_field = source_server.field
+        vector_servers = build_vector_shard_servers(
+            corpus,
+            vector_field,
+            term_limit=term_limit
+            if term_limit is not None
+            else source_server.term_limit,
+        )
     backends: List[ShardBackend] = []
     for shard_id, shard_store in enumerate(corpus.stores):
         shard_transports: List[RemoteTextTransport] = []
         for copy in range(1 + replicas):
             server_kwargs = {} if term_limit is None else {"term_limit": term_limit}
-            server = BooleanTextServer(
-                shard_store, engine_mode=engine_mode, **server_kwargs
-            )
+            if vector_field is not None:
+                server = (
+                    vector_servers[shard_id]
+                    if copy == 0
+                    else VectorTextServer(
+                        shard_store,
+                        vector_field,
+                        term_limit=vector_servers[shard_id].term_limit,
+                        statistics=vector_servers[shard_id].statistics,
+                    )
+                )
+            else:
+                server = BooleanTextServer(
+                    shard_store, engine_mode=engine_mode, **server_kwargs
+                )
             shard_transports.append(
                 RemoteTextTransport(
                     server,

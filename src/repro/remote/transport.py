@@ -233,6 +233,14 @@ class RemoteTextTransport:
         return self._cached_meta()["term_limit"]
 
     @property
+    def source_kind(self) -> str:
+        """The backend's predicate semantics, as published in its meta.
+
+        Pre-``source_kind`` endpoints omit the key; they are Boolean.
+        """
+        return self._cached_meta().get("source_kind", "boolean")
+
+    @property
     def data_version(self) -> int:
         return self._fetch_meta()["data_version"]
 

@@ -36,7 +36,9 @@ from repro.core.joinmethods import JoinContext, JoinMethod, TupleSubstitution
 from repro.errors import AdmissionRejected, ServingError
 from repro.gateway.cache import GatewayCache
 from repro.gateway.client import TextClient
+from repro.gateway.costs import VECTOR_CONSTANTS, CostConstants
 from repro.gateway.tracing import CallTracer
+from repro.textsys.vector import VectorQuery
 from repro.serving.admission import AdmissionQueue
 from repro.serving.metrics import ServiceMetrics
 from repro.serving.tenants import TenantSpec, TenantState
@@ -116,6 +118,8 @@ class QueryService:
         tracer: Optional[CallTracer] = None,
         feedback: Optional[Any] = None,
         statistics: Optional[Any] = None,
+        vector_backend: Optional[Any] = None,
+        vector_constants: Optional[CostConstants] = None,
     ) -> None:
         if not tenants:
             raise ServingError("a service needs at least one tenant")
@@ -124,6 +128,17 @@ class QueryService:
             raise ServingError(f"duplicate tenant names in {names}")
         self.scenario = scenario
         self.backend = backend if backend is not None else scenario.server
+        #: Optional second text source with ranked (vector) semantics.
+        #: Tenants submit :class:`~repro.textsys.vector.VectorQuery`
+        #: objects; each runs against this backend and charges the
+        #: tenant's *vector* ledger with the vector constants — never
+        #: the Boolean ledger (DESIGN invariant 15).
+        self.vector_backend = vector_backend
+        self.vector_constants = (
+            vector_constants
+            if vector_constants is not None
+            else (VECTOR_CONSTANTS if vector_backend is not None else None)
+        )
         self.cache = cache
         self.tracer = tracer if tracer is not None else CallTracer(enabled=True)
         #: When a :class:`~repro.core.feedback.FeedbackStore` is wired
@@ -140,7 +155,9 @@ class QueryService:
         self._queue = AdmissionQueue(capacity, workers=workers, max_inflight=1)
         self._tenants: Dict[str, TenantState] = {}
         for spec in tenants:
-            state = TenantState.from_spec(spec, scenario.constants)
+            state = TenantState.from_spec(
+                spec, scenario.constants, vector_constants=self.vector_constants
+            )
             self._tenants[spec.name] = state
             self._queue.register_tenant(spec.name, spec.weight)
         self._threads: List[threading.Thread] = []
@@ -206,8 +223,14 @@ class QueryService:
             raise ServingError(f"unknown tenant {tenant!r}")
         if isinstance(query, str):
             query = self.scenario.query(query)
+        if isinstance(query, VectorQuery) and self.vector_backend is None:
+            self.metrics.on_rejected()
+            raise ServingError(
+                "this service has no vector backend; pass vector_backend= "
+                "to serve ranked queries"
+            )
         try:
-            state.try_admit()
+            state.try_admit(vector=isinstance(query, VectorQuery))
         except ServingError:
             self.metrics.on_rejected()
             raise
@@ -248,6 +271,17 @@ class QueryService:
                 self._queue.done(tenant, time.monotonic() - started)
 
     def _execute(self, state: TenantState, ticket: QueryTicket) -> Any:
+        if isinstance(ticket.query, VectorQuery):
+            # Ranked searches go to the vector backend and charge the
+            # tenant's vector ledger only; the shared Boolean cache is
+            # deliberately NOT consulted (different source, different
+            # semantics — a hit would cross the attribution boundary).
+            client = TextClient(
+                self.vector_backend,
+                tracer=self.tracer,
+                ledger=state.vector_ledger,
+            )
+            return client.search(ticket.query)
         client = TextClient(
             self.backend,
             cache=self.cache,
@@ -306,6 +340,14 @@ class QueryService:
         """Each tenant's cumulative simulated seconds (the identity sums)."""
         return {
             name: state.ledger.total for name, state in self._tenants.items()
+        }
+
+    def vector_ledger_totals(self) -> Dict[str, float]:
+        """Each tenant's vector-backend spend (empty without a backend)."""
+        return {
+            name: state.vector_ledger.total
+            for name, state in self._tenants.items()
+            if state.vector_ledger is not None
         }
 
     def tenant_reports(self) -> List[Dict[str, Any]]:

@@ -42,6 +42,11 @@ class TenantSpec:
     budget_seconds: Optional[float] = None
     #: Maximum queries admitted over the service lifetime (None = unlimited).
     query_quota: Optional[int] = None
+    #: Separate ceiling for the tenant's *vector-backend* spend (None =
+    #: unmetered).  Per-backend budgets mirror per-backend attribution
+    #: (DESIGN invariant 15): vector charges never drain the Boolean
+    #: budget, and vice versa.
+    vector_budget_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -54,6 +59,10 @@ class TenantSpec:
             )
         if self.query_quota is not None and self.query_quota < 0:
             raise ServingError(f"tenant {self.name!r}: quota must be non-negative")
+        if self.vector_budget_seconds is not None and self.vector_budget_seconds < 0:
+            raise ServingError(
+                f"tenant {self.name!r}: vector budget must be non-negative"
+            )
 
 
 @dataclass
@@ -110,6 +119,10 @@ class TenantState:
 
     spec: TenantSpec
     ledger: BudgetedCostLedger
+    #: Present only on services with a vector backend: the tenant's
+    #: ranked-search spend, priced with the *vector* backend's constants
+    #: and budgeted independently (invariant 15 at tenant granularity).
+    vector_ledger: Optional[BudgetedCostLedger] = None
     admitted: int = 0
     completed: int = 0
     failed: int = 0
@@ -120,32 +133,50 @@ class TenantState:
 
     @classmethod
     def from_spec(
-        cls, spec: TenantSpec, constants: Optional[CostConstants] = None
+        cls,
+        spec: TenantSpec,
+        constants: Optional[CostConstants] = None,
+        vector_constants: Optional[CostConstants] = None,
     ) -> "TenantState":
+        vector_ledger = None
+        if vector_constants is not None:
+            vector_ledger = BudgetedCostLedger(
+                constants=vector_constants,
+                budget_seconds=spec.vector_budget_seconds,
+            )
         return cls(
             spec=spec,
             ledger=BudgetedCostLedger(
                 constants=constants or CostConstants(),
                 budget_seconds=spec.budget_seconds,
             ),
+            vector_ledger=vector_ledger,
         )
 
-    def try_admit(self) -> None:
+    def try_admit(self, vector: bool = False) -> None:
         """Claim one admission slot, or raise the matching refusal.
 
         Quota and budget are both checked here (budget additionally at
-        charge time, which is what aborts an in-flight query).  The
-        admitted count only moves on success, so a refused submission
-        never consumes quota.  Raises
+        charge time, which is what aborts an in-flight query).  A vector
+        submission checks the *vector* budget — spends are attributed,
+        and therefore refused, per backend (invariant 15).  The admitted
+        count only moves on success, so a refused submission never
+        consumes quota.  Raises
         :class:`~repro.errors.BudgetExceededError` /
         :class:`~repro.errors.QuotaExceededError`.
         """
         with self._lock:
-            if self.ledger.exhausted:
+            budgeted = (
+                self.vector_ledger
+                if vector and self.vector_ledger is not None
+                else self.ledger
+            )
+            if budgeted.exhausted:
                 self.rejected += 1
                 raise BudgetExceededError(
-                    f"tenant {self.spec.name!r} exhausted its budget of "
-                    f"{self.spec.budget_seconds:.3f} simulated seconds"
+                    f"tenant {self.spec.name!r} exhausted its "
+                    f"{'vector ' if budgeted is self.vector_ledger else ''}"
+                    f"budget of {budgeted.budget_seconds:.3f} simulated seconds"
                 )
             if (
                 self.spec.query_quota is not None
@@ -181,7 +212,7 @@ class TenantState:
                 "rejected": self.rejected,
             }
         ledger = self.ledger
-        return {
+        report = {
             "tenant": self.spec.name,
             "weight": self.spec.weight,
             "budget_seconds": self.spec.budget_seconds,
@@ -192,3 +223,7 @@ class TenantState:
             "seconds_saved": ledger.seconds_saved,
             "seconds_retried": ledger.seconds_retried,
         }
+        if self.vector_ledger is not None:
+            report["vector_total"] = self.vector_ledger.total
+            report["vector_searches"] = self.vector_ledger.searches
+        return report

@@ -17,7 +17,14 @@ from repro.textsys.diskindex import (
     build_disk_index,
 )
 from repro.textsys.persistence import load_store, save_store
-from repro.textsys.vector import ScoredDocument, VectorSpaceEngine
+from repro.textsys.vector import (
+    ScoredDocument,
+    VectorQuery,
+    VectorSearchOutcome,
+    VectorSpaceEngine,
+    VectorStatistics,
+)
+from repro.textsys.vectorserver import VectorTextServer, build_vector_shard_servers
 from repro.textsys.documents import Document, DocumentStore
 from repro.textsys.engine import (
     ENGINE_MODE_ENV,
@@ -61,6 +68,7 @@ from repro.textsys.sharding import (
     ShardedCorpus,
     build_shard_servers,
     hash_shard_of,
+    merge_scored_results,
     partition_store,
 )
 
@@ -118,9 +126,15 @@ __all__ = [
     "load_store",
     "VectorSpaceEngine",
     "ScoredDocument",
+    "VectorQuery",
+    "VectorSearchOutcome",
+    "VectorStatistics",
+    "VectorTextServer",
+    "build_vector_shard_servers",
     "PARTITION_SCHEMES",
     "ShardedCorpus",
     "partition_store",
     "build_shard_servers",
+    "merge_scored_results",
     "hash_shard_of",
 ]

@@ -23,11 +23,16 @@ class ResultSet:
     ``postings_processed`` records the sum of inverted-list lengths the
     engine read to answer the search — the quantity the cost model
     multiplies by ``c_p``.
+
+    ``scores`` is populated by ranking backends (one cosine similarity
+    per docid, in result order) and empty for Boolean searches, whose
+    results carry no ranking.
     """
 
     docids: Tuple[str, ...]
     documents: Tuple[Document, ...]
     postings_processed: int
+    scores: Tuple[float, ...] = ()
 
     def __len__(self) -> int:
         return len(self.docids)

@@ -108,6 +108,12 @@ class ServerCounters:
 class BooleanTextServer:
     """An inversion-based Boolean text retrieval system."""
 
+    #: The predicate semantics this backend provides.  Boolean monotone
+    #: semantics are what the Section 3-5 method space (and its
+    #: probe-based pruning) is sound for; the per-backend legality check
+    #: compares this against each method's required kind.
+    source_kind = "boolean"
+
     def __init__(
         self,
         store: DocumentStore,

@@ -45,6 +45,7 @@ __all__ = [
     "ShardedCorpus",
     "partition_store",
     "build_shard_servers",
+    "merge_scored_results",
 ]
 
 #: The supported document→shard assignment schemes.
@@ -138,6 +139,41 @@ class ShardedCorpus:
                 partial.postings_processed for partial in partials
             ),
         )
+
+
+def merge_scored_results(
+    partials: Sequence[ResultSet], top_k: Optional[int]
+) -> ResultSet:
+    """Union per-shard *ranked* result sets into the single-server result.
+
+    Boolean merges order by global ordinal; ranked results order by
+    ``(-score, docid)`` — the same total order every
+    :class:`~repro.textsys.vector.VectorSpaceEngine` applies — and the
+    union is re-truncated to the query's global ``top_k``.  Because each
+    shard already returned *its* best ``top_k`` (scored with injected
+    global statistics), the global top-k is a subset of the union, so
+    the merged answer is bit-identical to the unsharded server's.
+    Postings counts are local inverted-list lengths and sum exactly.
+    """
+    entries = []
+    for partial in partials:
+        if len(partial.scores) != len(partial.docids):
+            raise TextSystemError(
+                "a scored merge needs one score per docid; got "
+                f"{len(partial.scores)} scores for {len(partial.docids)} docids"
+            )
+        entries.extend(zip(partial.scores, partial.docids, partial.documents))
+    entries.sort(key=lambda entry: (-entry[0], entry[1]))
+    if top_k is not None:
+        entries = entries[:top_k]
+    return ResultSet(
+        docids=tuple(docid for _, docid, _ in entries),
+        documents=tuple(document for _, _, document in entries),
+        postings_processed=sum(
+            partial.postings_processed for partial in partials
+        ),
+        scores=tuple(score for score, _, _ in entries),
+    )
 
 
 def partition_store(

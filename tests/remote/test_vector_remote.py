@@ -1,0 +1,195 @@
+"""The vector backend through the transport stack.
+
+The ranked source must be reachable exactly like the Boolean one: the
+codec carries ``VectorQuery`` and scored result sets, the endpoint
+advertises its ``source_kind``, and — the invariant that matters for
+attribution — the same query sequence charges the same ledger whether
+the backend is in-process, remote, or sharded.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RemoteProtocolError
+from repro.gateway.client import TextClient
+from repro.gateway.costs import VECTOR_CONSTANTS
+from repro.remote.codec import (
+    node_from_wire,
+    node_to_wire,
+    result_from_wire,
+    result_to_wire,
+)
+from repro.remote.router import build_sharded_transport
+from repro.remote.transport import RemoteTextTransport
+from repro.textsys.documents import Document, DocumentStore
+from repro.textsys.result import ResultSet
+from repro.textsys.vector import VectorQuery
+from repro.textsys.vectorserver import VectorTextServer
+
+
+@pytest.fixture
+def store() -> DocumentStore:
+    store = DocumentStore(
+        ["title", "abstract"], short_fields=["title", "abstract"]
+    )
+    store.add_record("d1", title="belief update", abstract="belief revision systems")
+    store.add_record("d2", title="query optimization", abstract="join query plans")
+    store.add_record("d3", title="text retrieval", abstract="ranked text search")
+    store.add_record("d4", title="belief networks", abstract="probabilistic belief")
+    store.add_record("d5", title="empty", abstract="")
+    return store
+
+
+@pytest.fixture
+def server(store) -> VectorTextServer:
+    return VectorTextServer(store, "abstract")
+
+
+def make_remote(server) -> RemoteTextTransport:
+    return RemoteTextTransport(server, profile="lan", time_scale=0.0)
+
+
+class TestCodec:
+    def test_vector_query_roundtrip(self):
+        query = VectorQuery(
+            "abstract", ("belief", "revision"), top_k=7, threshold=0.25
+        )
+        wire = node_to_wire(query)
+        assert wire["type"] == "vector"
+        decoded = node_from_wire(wire)
+        assert decoded == query
+
+    def test_unbounded_top_k_travels_as_null(self):
+        query = VectorQuery("abstract", ("belief",), top_k=None)
+        wire = node_to_wire(query)
+        assert wire["top_k"] is None
+        assert node_from_wire(wire).top_k is None
+
+    def test_malformed_vector_wire_rejected(self):
+        with pytest.raises(RemoteProtocolError):
+            node_from_wire({"type": "vector", "field": "abstract"})
+
+    def test_scored_result_roundtrip(self):
+        result = ResultSet(
+            docids=("d1", "d2"),
+            documents=(
+                Document("d1", {"title": "a"}),
+                Document("d2", {"title": "b"}),
+            ),
+            postings_processed=4,
+            scores=(0.9, 0.4),
+        )
+        wire = result_to_wire(result)
+        assert wire["scores"] == [0.9, 0.4]
+        decoded = result_from_wire(wire)
+        assert decoded.scores == (0.9, 0.4)
+        assert decoded.docids == result.docids
+
+    def test_boolean_results_omit_the_scores_key(self):
+        """Old (pre-vector) frames stay decodable: no key, empty scores."""
+        result = ResultSet(
+            docids=("d1",),
+            documents=(Document("d1", {"title": "a"}),),
+            postings_processed=1,
+        )
+        wire = result_to_wire(result)
+        assert "scores" not in wire
+        assert result_from_wire(wire).scores == ()
+
+
+class TestRemoteTransport:
+    def test_meta_advertises_source_kind(self, server):
+        remote = make_remote(server)
+        assert remote.source_kind == "vector"
+
+    def test_remote_search_matches_in_process(self, server):
+        remote = make_remote(server)
+        for query in (
+            VectorQuery("abstract", ("belief",), top_k=2),
+            VectorQuery("abstract", ("belief", "query"), top_k=None),
+            VectorQuery("abstract", (), top_k=None, threshold=-1.0),
+        ):
+            local = server.search(query)
+            over_wire = remote.search(query)
+            assert over_wire.docids == local.docids
+            assert over_wire.scores == local.scores
+            assert over_wire.postings_processed == local.postings_processed
+
+    def test_remote_document_frequency_matches(self, server):
+        remote = make_remote(server)
+        for term in ("belief", "query", "zzz"):
+            assert remote.document_frequency(
+                "abstract", term
+            ) == server.document_frequency("abstract", term)
+
+
+class TestShardedTransport:
+    def test_sharded_search_matches_single_server(self, store):
+        reference = VectorTextServer(store, "abstract")
+        sharded = build_sharded_transport(
+            VectorTextServer(store, "abstract"),
+            3,
+            profile="lan",
+            time_scale=0.0,
+        )
+        assert sharded.source_kind == "vector"
+        for query in (
+            VectorQuery("abstract", ("belief",), top_k=2),
+            VectorQuery("abstract", ("belief", "text"), top_k=None),
+        ):
+            merged = sharded.search(query)
+            single = reference.search(query)
+            assert merged.docids == single.docids
+            assert merged.scores == single.scores
+
+
+class TestChargeIdentity:
+    """Invariant 15's transport half: the deployment shape of a backend
+    never changes what a query sequence costs its ledger."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        queries=st.lists(
+            st.tuples(
+                st.lists(
+                    st.sampled_from(
+                        ["belief", "query", "text", "systems", "zzz"]
+                    ),
+                    min_size=1,
+                    max_size=3,
+                ),
+                st.sampled_from([1, 3, None]),
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        shard_count=st.integers(min_value=1, max_value=3),
+    )
+    def test_ledger_total_is_deployment_invariant(self, queries, shard_count):
+        store = DocumentStore(["abstract"], short_fields=["abstract"])
+        store.add_record("d1", abstract="belief revision systems")
+        store.add_record("d2", abstract="join query plans")
+        store.add_record("d3", abstract="ranked text search systems")
+        store.add_record("d4", abstract="probabilistic belief")
+        backends = [
+            VectorTextServer(store, "abstract"),
+            make_remote(VectorTextServer(store, "abstract")),
+            build_sharded_transport(
+                VectorTextServer(store, "abstract"),
+                shard_count,
+                profile="lan",
+                time_scale=0.0,
+            ),
+        ]
+        totals = []
+        for backend in backends:
+            client = TextClient(backend, constants=VECTOR_CONSTANTS)
+            for terms, top_k in queries:
+                client.search(
+                    VectorQuery("abstract", tuple(terms), top_k=top_k)
+                )
+            totals.append(client.ledger.total)
+        assert totals[0] == pytest.approx(totals[1])
+        assert totals[0] == pytest.approx(totals[2])

@@ -1,0 +1,170 @@
+"""Mixed Boolean + vector serving: attribution under concurrency.
+
+Fast tests pin the routing and budget semantics; the ``slow``-marked
+soak run keeps a mixed multi-tenant load on the service for about a
+minute and then demands the per-tenant, per-backend ledgers match a
+serial replay exactly — concurrency must never smear charges across
+either the tenant or the backend boundary (DESIGN invariant 15).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.joinmethods import JoinContext, TupleSubstitution
+from repro.errors import BudgetExceededError, ServingError
+from repro.gateway.client import TextClient
+from repro.gateway.costs import VECTOR_CONSTANTS, CostLedger
+from repro.serving import QueryService, TenantSpec
+from repro.textsys.vector import VectorQuery
+from repro.textsys.vectorserver import VectorTextServer
+from repro.workload.scenarios import build_default_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_default_scenario(seed=7, document_count=600)
+
+
+@pytest.fixture(scope="module")
+def vector_server(scenario):
+    return VectorTextServer(scenario.server.store, "title")
+
+
+def vector_query(terms, top_k=5):
+    return VectorQuery("title", tuple(terms), top_k=top_k)
+
+
+def serial_replay(scenario, vector_server, submissions):
+    """The oracle: one cumulative ledger pair per tenant, queries in
+    per-tenant order, a fresh client per query — the service's wiring,
+    minus the concurrency."""
+    boolean_ledgers = {}
+    vector_ledgers = {}
+    for tenant, query in submissions:
+        if isinstance(query, VectorQuery):
+            ledger = vector_ledgers.setdefault(
+                tenant, CostLedger(constants=VECTOR_CONSTANTS)
+            )
+            TextClient(vector_server, ledger=ledger).search(query)
+        else:
+            ledger = boolean_ledgers.setdefault(
+                tenant, CostLedger(constants=scenario.constants)
+            )
+            client = TextClient(scenario.server, ledger=ledger)
+            context = JoinContext(scenario.catalog, client)
+            TupleSubstitution().execute(scenario.query(query), context)
+    return boolean_ledgers, vector_ledgers
+
+
+def assert_no_drift(service, scenario, vector_server, submissions):
+    boolean_ledgers, vector_ledgers = serial_replay(
+        scenario, vector_server, submissions
+    )
+    for tenant, ledger in boolean_ledgers.items():
+        assert service.tenant(tenant).ledger.report() == ledger.report()
+    for tenant, ledger in vector_ledgers.items():
+        assert service.tenant(tenant).vector_ledger.report() == ledger.report()
+
+
+def test_mixed_workload_routes_charges_per_backend(scenario, vector_server):
+    specs = [TenantSpec("alice"), TenantSpec("bob")]
+    submissions = [
+        ("alice", "q1"),
+        ("bob", vector_query(["belief", "update"])),
+        ("alice", vector_query(["join"])),
+        ("bob", "q2"),
+    ]
+    with QueryService(
+        scenario, specs, workers=3, vector_backend=vector_server
+    ) as service:
+        tickets = [service.submit(t, q) for t, q in submissions]
+        for ticket in tickets:
+            ticket.result(timeout=60)
+    # Vector charges land on the vector ledger, priced with the vector
+    # backend's constants; the Boolean ledger never sees them.
+    vector_totals = service.vector_ledger_totals()
+    assert vector_totals["alice"] > 0.0 and vector_totals["bob"] > 0.0
+    for name in ("alice", "bob"):
+        state = service.tenant(name)
+        assert state.vector_ledger.constants == VECTOR_CONSTANTS
+        assert state.ledger.total > 0.0  # the Boolean query
+    assert_no_drift(service, scenario, vector_server, submissions)
+
+
+def test_vector_query_without_backend_is_a_serving_error(scenario):
+    with QueryService(scenario, [TenantSpec("alice")], workers=1) as service:
+        with pytest.raises(ServingError, match="no vector backend"):
+            service.submit("alice", vector_query(["belief"]))
+        before = service.metrics_snapshot()
+        assert before["rejected"] == 1
+        # The tenant has no vector ledger at all without a backend.
+        assert service.tenant("alice").vector_ledger is None
+        assert service.vector_ledger_totals() == {}
+
+
+def test_vector_budget_is_separate_from_the_boolean_one(
+    scenario, vector_server
+):
+    """The vector budget meters only vector spend: the crossing vector
+    query dies, later vector admissions refuse, Boolean work continues."""
+    specs = [TenantSpec("broke", vector_budget_seconds=1.0)]  # < c_i = 3.0
+    with QueryService(
+        scenario, specs, workers=1, vector_backend=vector_server
+    ) as service:
+        ticket = service.submit("broke", vector_query(["belief"]))
+        with pytest.raises(BudgetExceededError):
+            ticket.result(timeout=60)
+        with pytest.raises(BudgetExceededError, match="vector"):
+            service.submit("broke", vector_query(["belief"]))
+        # Boolean admission still works — its ledger is unmetered.
+        service.submit("broke", "q2").result(timeout=60)
+    state = service.tenant("broke")
+    assert state.vector_ledger.exhausted
+    assert not state.ledger.exhausted
+    assert state.ledger.total > 0.0
+
+
+@pytest.mark.slow
+def test_sixty_second_mixed_soak(scenario, vector_server):
+    """~60s of sustained mixed load: latency percentiles are finite and
+    the ledgers match a serial replay bit-for-bit afterwards."""
+    specs = [
+        TenantSpec("alice", weight=2.0),
+        TenantSpec("bob"),
+        TenantSpec("carol"),
+    ]
+    boolean_ids = ["q1", "q2", "q4"]
+    term_pool = ["belief", "update", "join", "query", "logic", "systems"]
+    submissions = []
+    deadline = time.monotonic() + 60.0
+    with QueryService(
+        scenario, specs, workers=4, capacity=64, vector_backend=vector_server
+    ) as service:
+        round_number = 0
+        while time.monotonic() < deadline:
+            batch = []
+            for index, tenant in enumerate(("alice", "bob", "carol")):
+                step = round_number + index
+                if step % 2 == 0:
+                    query = boolean_ids[step % len(boolean_ids)]
+                else:
+                    terms = [
+                        term_pool[step % len(term_pool)],
+                        term_pool[(step + 3) % len(term_pool)],
+                    ]
+                    query = vector_query(terms, top_k=(step % 7) + 1)
+                batch.append((tenant, query))
+            tickets = [service.submit(t, q) for t, q in batch]
+            for ticket in tickets:
+                ticket.result(timeout=60)
+            submissions.extend(batch)
+            round_number += 1
+        snapshot = service.metrics_snapshot()
+    assert snapshot["completed"] == len(submissions) >= 30
+    assert snapshot["failed"] == 0
+    assert 0.0 <= snapshot["latency_p50"] <= snapshot["latency_p99"]
+    assert snapshot["latency_p99"] > 0.0
+    assert_no_drift(service, scenario, vector_server, submissions)
