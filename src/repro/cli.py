@@ -285,7 +285,9 @@ def _print_multibackend(seed: int) -> None:
     )
 
 
-def _print_serving(scenario, feedback=None, vector_server=None) -> None:
+def _print_serving(
+    scenario, feedback=None, vector_server=None, share_window=None
+) -> None:
     """A mixed-tenant serving session over whatever backend is wired in."""
     import time as _time
 
@@ -328,6 +330,7 @@ def _print_serving(scenario, feedback=None, vector_server=None) -> None:
         feedback=feedback,
         statistics=TextStatisticsRegistry() if feedback is not None else None,
         vector_backend=vector_server,
+        share_window=share_window,
     )
     refused = 0
     with service:
@@ -378,6 +381,15 @@ def _print_serving(scenario, feedback=None, vector_server=None) -> None:
         ["cache hit rate", f"{snapshot.get('cache_hit_rate', 0.0):.0%}"],
         ["breaker states", ", ".join(snapshot["breaker_states"]) or "-"],
     ]
+    sharing = snapshot.get("sharing")
+    if sharing is not None:
+        rows.append(
+            ["shared searches (joins)", sharing["shared_searches"]]
+        )
+        rows.append(
+            ["seconds shared (side channel)",
+             round(sharing["seconds_shared"], 2)],
+        )
     print(ascii_table(["serving metric", "value"], rows))
     if vector_server is not None:
         totals = service.vector_ledger_totals()
@@ -716,6 +728,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(created if missing; experiments record method q-errors, serve "
         "plans each query with feedback-blended statistics)",
     )
+    parser.add_argument(
+        "--share-window",
+        type=float,
+        metavar="SECONDS",
+        help="serve only: batch searches admitted within this window "
+        "across tenants and execute shared work once (0 keeps pure "
+        "single-flight dedup; charges stay as-if-alone, invariant 16)",
+    )
     arguments = parser.parse_args(argv)
 
     feedback = None
@@ -808,7 +828,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         _print_multibackend(arguments.seed)
         ran_any = True
     if arguments.experiment == "serve":
-        _print_serving(scenario, feedback=feedback, vector_server=vector_server)
+        _print_serving(
+            scenario,
+            feedback=feedback,
+            vector_server=vector_server,
+            share_window=arguments.share_window,
+        )
         ran_any = True
     if tracer is not None and tracer.spans:
         print()

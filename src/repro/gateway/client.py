@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.errors import GatewayError
-from repro.gateway.cache import GatewayCache
+from repro.gateway.cache import CacheStats, GatewayCache, PendingFill
 from repro.gateway.costs import CostConstants, CostLedger
 from repro.gateway.tracing import CallTracer
 from repro.textsys.documents import Document
@@ -41,6 +41,12 @@ from repro.textsys.result import ResultSet
 from repro.textsys.server import BooleanTextServer
 
 __all__ = ["TextClient", "SearchCall"]
+
+#: How long a coalesced search waits for another ticket's in-flight
+#: cache fill before falling back to its own dispatch.  Generous — a
+#: resolved fill sets the event immediately; the bound only guards
+#: against a fill leader dying without publishing.
+_FILL_WAIT_SECONDS = 600.0
 
 
 @dataclass(frozen=True)
@@ -64,6 +70,7 @@ class TextClient:
         cache: Optional[GatewayCache] = None,
         tracer: Optional[CallTracer] = None,
         ledger: Optional[CostLedger] = None,
+        cache_stats: Optional[CacheStats] = None,
     ) -> None:
         self.server = server
         #: An explicit ``ledger`` lets several clients charge one shared
@@ -76,6 +83,13 @@ class TextClient:
             else CostLedger(constants=constants or CostConstants())
         )
         self.cache = cache
+        #: An optional caller-owned sink for this client's cache
+        #: outcomes.  The shared cache's own statistics aggregate over
+        #: every client; the serving layer passes each tenant's
+        #: :class:`CacheStats` here so hit rates attribute per tenant
+        #: (safe unlocked: the admission queue runs one query per
+        #: tenant at a time).
+        self.cache_stats = cache_stats
         self.tracer = tracer if tracer is not None else CallTracer(enabled=log_calls)
 
     # ------------------------------------------------------------------
@@ -125,6 +139,15 @@ class TextClient:
                     cost=0.0,
                 )
 
+    def _note_cache(self, hit: bool) -> None:
+        """Attribute one cache outcome to the caller's sink, if any."""
+        if self.cache_stats is None:
+            return
+        if hit:
+            self.cache_stats.hits += 1
+        else:
+            self.cache_stats.misses += 1
+
     def _wants_expression(self) -> bool:
         return self.cache is not None or self.tracer.enabled
 
@@ -169,35 +192,65 @@ class TextClient:
         """
         return self._metered_search(query, kind="search")
 
+    def _serve_cached(
+        self, kind: str, expression: Optional[str], cached: ResultSet
+    ) -> ResultSet:
+        """Account one search answered without a dispatch (hit/coalesce)."""
+        saved = self.ledger.constants.search_cost(
+            cached.postings_processed, len(cached)
+        )
+        self.ledger.credit_saved(saved)
+        self._note_cache(hit=True)
+        self.tracer.record(
+            kind,
+            expression,
+            result_size=len(cached),
+            postings_processed=cached.postings_processed,
+            cost=0.0,
+            saved=saved,
+            cache_hit=True,
+        )
+        return cached
+
     def _metered_search(self, query: Union[SearchNode, str], kind: str) -> ResultSet:
         query, expression = self._canonical(query)
         version = None
+        fill_leader = False
         if self.cache is not None:
             version = self._data_version()
             self.cache.validate(version)
             cached = self.cache.search.get(expression)
             if cached is not None:
-                saved = self.ledger.constants.search_cost(
-                    cached.postings_processed, len(cached)
-                )
-                self.ledger.credit_saved(saved)
-                self.tracer.record(
-                    kind,
-                    expression,
-                    result_size=len(cached),
-                    postings_processed=cached.postings_processed,
-                    cost=0.0,
-                    saved=saved,
-                    cache_hit=True,
-                )
-                return cached
+                return self._serve_cached(kind, expression, cached)
+            # Single-flight: if another ticket is already fetching this
+            # expression, wait for its fill instead of dispatching a
+            # duplicate search; otherwise claim fill leadership (and
+            # publish the outcome below, success or not).
+            pending = self.cache.claim_search_fill(expression)
+            if pending is not None:
+                coalesced = pending.wait(_FILL_WAIT_SECONDS)
+                if coalesced is not None:
+                    return self._serve_cached(kind, expression, coalesced)
+                # The leader failed or the data moved: fall through to
+                # our own dispatch (without claiming — the herd is at
+                # most one failed fill wide).
+            else:
+                fill_leader = True
+            self._note_cache(hit=False)
+        result = None
         try:
             result = self.server.search(query)
         finally:
             self._settle_transport()
+            if fill_leader:
+                # Insert before publishing so a fresh misser finds the
+                # entry rather than claiming a new fill; both steps are
+                # version-stamped (dropped if the data moved mid-fetch).
+                if result is not None:
+                    self.cache.put_search(expression, result, version)
+                self.cache.publish_search_fill(expression, result, version)
         cost = self.ledger.charge_search(result.postings_processed, len(result))
-        if self.cache is not None:
-            # Version-stamped fill: dropped if the data moved mid-fetch.
+        if self.cache is not None and not fill_leader:
             self.cache.put_search(expression, result, version)
         if self.tracer.enabled:
             self.tracer.record(
@@ -268,36 +321,93 @@ class TextClient:
             else:
                 positions.append(index)
 
+        # Cross-ticket single-flight: claim fill leadership per distinct
+        # miss.  Claimed expressions travel in our batch; the rest are
+        # already being fetched by another ticket, so we wait on their
+        # fills instead of dispatching duplicates.
+        dispatched: List[Tuple[Union[SearchNode, str], str]] = []
+        waiting: List[Tuple[Union[SearchNode, str], str, PendingFill]] = []
+        for query, expression in distinct:
+            pending = self.cache.claim_search_fill(expression)
+            if pending is None:
+                dispatched.append((query, expression))
+            else:
+                waiting.append((query, expression, pending))
+
+        def fan_out(expression: str, result: ResultSet) -> None:
+            for index in miss_positions[expression]:
+                results[index] = result
+
         constants = self.ledger.constants
         cost = 0.0
-        if distinct:
+        invocations = 0
+        if dispatched:
+            fetched = None
             try:
-                fetched = search_batch([query for query, _ in distinct])
+                fetched = search_batch([query for query, _ in dispatched])
             finally:
                 self._settle_transport()
-            miss_postings = sum(result.postings_processed for result in fetched)
-            miss_returned = sum(len(result) for result in fetched)
-            cost = self.ledger.charge_search(miss_postings, miss_returned)
-            for (_, expression), result in zip(distinct, fetched):
-                for index in miss_positions[expression]:
-                    results[index] = result
+                for position, (_, expression) in enumerate(dispatched):
+                    result = (
+                        fetched[position] if fetched is not None else None
+                    )
+                    if result is not None:
+                        self.cache.put_search(expression, result, version)
+                    self.cache.publish_search_fill(expression, result, version)
+            cost += self.ledger.charge_search(
+                sum(result.postings_processed for result in fetched),
+                sum(len(result) for result in fetched),
+            )
+            invocations += 1
+            for (_, expression), result in zip(dispatched, fetched):
+                fan_out(expression, result)
+
+        coalesced_expressions = set()
+        retries: List[Tuple[Union[SearchNode, str], str]] = []
+        for query, expression, pending in waiting:
+            result = pending.wait(_FILL_WAIT_SECONDS)
+            if result is None:
+                # The other ticket's fill failed; fetch it ourselves in
+                # a second (charged) invocation below.
+                retries.append((query, expression))
+            else:
+                coalesced_expressions.add(expression)
+                fan_out(expression, result)
+        if retries:
+            try:
+                fetched = search_batch([query for query, _ in retries])
+            finally:
+                self._settle_transport()
+            cost += self.ledger.charge_search(
+                sum(result.postings_processed for result in fetched),
+                sum(len(result) for result in fetched),
+            )
+            invocations += 1
+            for (_, expression), result in zip(retries, fetched):
                 self.cache.put_search(expression, result, version)
+                fan_out(expression, result)
 
         # What the batch would have cost without the cache, minus what
-        # was actually paid: the hits' processing/transmission shares,
-        # plus the invocation itself when nothing travelled at all.
+        # was actually paid: the processing/transmission shares of every
+        # occurrence answered locally (cache hits) or by another
+        # ticket's fill (coalesced), plus the invocation itself when
+        # nothing travelled at all.
         miss_indexes = {index for index, _, _ in misses}
-        hit_results = [
-            result
-            for index, result in enumerate(results)
-            if index not in miss_indexes
-        ]
-        saved = sum(
-            constants.per_posting * result.postings_processed
-            + constants.short_form * len(result)
-            for result in hit_results
-        )
-        if not misses:
+        saved = 0.0
+        for index, result in enumerate(results):
+            if index not in miss_indexes:
+                self._note_cache(hit=True)
+            else:
+                expression = canonical[index][1]
+                if expression not in coalesced_expressions:
+                    self._note_cache(hit=False)
+                    continue
+                self._note_cache(hit=True)
+            saved += (
+                constants.per_posting * result.postings_processed
+                + constants.short_form * len(result)
+            )
+        if invocations == 0:
             saved += constants.invocation
         if saved:
             self.ledger.credit_saved(saved)
@@ -311,7 +421,7 @@ class TextClient:
             postings_processed=postings,
             cost=cost,
             saved=saved,
-            cache_hit=not misses,
+            cache_hit=invocations == 0,
         )
         return results
 
@@ -325,6 +435,7 @@ class TextClient:
             if cached is not None:
                 saved = self.ledger.constants.long_form
                 self.ledger.credit_saved(saved)
+                self._note_cache(hit=True)
                 self.tracer.record(
                     "retrieve",
                     docid,
@@ -335,6 +446,7 @@ class TextClient:
                     cache_hit=True,
                 )
                 return cached
+            self._note_cache(hit=False)
         try:
             document = self.server.retrieve(docid)
         finally:
@@ -384,9 +496,11 @@ class TextClient:
                 cached = self.cache.retrieve.get(docid)
                 if cached is None:
                     misses.append(docid)
+                    self._note_cache(hit=False)
                     continue
                 saved = self.ledger.constants.long_form
                 self.ledger.credit_saved(saved)
+                self._note_cache(hit=True)
                 self.tracer.record(
                     "retrieve",
                     docid,

@@ -90,14 +90,19 @@ class CostLedger:
     invariant exactly: ``total == c_i*searches + c_p*postings +
     c_s*short + c_l*long + c_a*rtp``.
 
-    ``seconds_saved`` and ``seconds_retried`` are side channels, NOT
-    part of ``total``: the former accumulates the simulated cost that
-    gateway-cache hits avoided (a hit charges nothing into the counts
-    above); the latter accumulates simulated seconds *wasted* by the
-    remote transport on failed attempts and backoff pauses (see
-    :mod:`repro.remote.transport`).  Keeping waste out of ``total``
-    preserves the Section 4.1 identity exactly while still making retry
-    overhead observable next to the ``c_i``-dominated link costs.
+    ``seconds_saved``, ``seconds_shared`` and ``seconds_retried`` are
+    side channels, NOT part of ``total``: the first accumulates the
+    simulated cost that gateway-cache hits avoided (a hit charges
+    nothing into the counts above); the second accumulates the simulated
+    backend work a tenant's searches avoided by *joining* another
+    in-flight identical search under the serving layer's cross-query
+    sharing executor (the tenant is still charged in full, as if it ran
+    alone — DESIGN invariant 16); the third accumulates simulated
+    seconds *wasted* by the remote transport on failed attempts and
+    backoff pauses (see :mod:`repro.remote.transport`).  Keeping all
+    three out of ``total`` preserves the Section 4.1 identity exactly
+    while still making the cache, the sharing layer, and retry overhead
+    observable next to the ``c_i``-dominated link costs.
 
     The ledger is safe to share across threads: pooled transports and
     the concurrent serving front-end charge one ledger from many worker
@@ -115,6 +120,7 @@ class CostLedger:
     long_documents: int = 0
     rtp_documents: int = 0
     seconds_saved: float = 0.0
+    seconds_shared: float = 0.0
     seconds_retried: float = 0.0
     # Re-entrant so subclasses (the serving layer's budgeted ledger) can
     # enforce limits atomically around a charge.
@@ -152,6 +158,20 @@ class CostLedger:
             self.seconds_saved += seconds
         return seconds
 
+    def credit_shared(self, seconds: float) -> float:
+        """Record simulated seconds a shared execution avoided.
+
+        A side channel like ``seconds_saved``: the tenant's ``total``
+        already carries the full alone-cost of the search (DESIGN
+        invariant 16); this records the backend work that did *not*
+        happen because the search joined an identical in-flight one.
+        """
+        if seconds < 0:
+            raise GatewayError("shared seconds must be non-negative")
+        with self._lock:
+            self.seconds_shared += seconds
+        return seconds
+
     def charge_retry_waste(self, seconds: float) -> float:
         """Record simulated seconds wasted on failed remote attempts.
 
@@ -185,6 +205,7 @@ class CostLedger:
             self.long_documents = 0
             self.rtp_documents = 0
             self.seconds_saved = 0.0
+            self.seconds_shared = 0.0
             self.seconds_retried = 0.0
 
     def snapshot(self) -> "CostLedger":
@@ -198,6 +219,7 @@ class CostLedger:
                 long_documents=self.long_documents,
                 rtp_documents=self.rtp_documents,
                 seconds_saved=self.seconds_saved,
+                seconds_shared=self.seconds_shared,
                 seconds_retried=self.seconds_retried,
             )
 
@@ -213,6 +235,7 @@ class CostLedger:
                 long_documents=self.long_documents - earlier.long_documents,
                 rtp_documents=self.rtp_documents - earlier.rtp_documents,
                 seconds_saved=self.seconds_saved - earlier.seconds_saved,
+                seconds_shared=self.seconds_shared - earlier.seconds_shared,
                 seconds_retried=self.seconds_retried - earlier.seconds_retried,
             )
 
@@ -227,6 +250,7 @@ class CostLedger:
             "rtp_documents": state.rtp_documents,
             "total": state.total,
             "seconds_saved": state.seconds_saved,
+            "seconds_shared": state.seconds_shared,
             "seconds_retried": state.seconds_retried,
         }
 

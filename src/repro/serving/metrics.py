@@ -101,8 +101,18 @@ class ServiceMetrics:
         inflight: int = 0,
         tracer: Optional[Any] = None,
         backend: Optional[Any] = None,
+        tenants: Optional[Dict[str, Any]] = None,
+        sharing: Optional[Any] = None,
     ) -> Dict[str, Any]:
-        """One JSON-friendly dict describing the service right now."""
+        """One JSON-friendly dict describing the service right now.
+
+        With ``tenants`` (name → :class:`~repro.serving.tenants.
+        TenantState`), the snapshot carries a ``per_tenant`` block —
+        cache hit rate and cache/shared seconds saved attributed to each
+        tenant, not just service-wide.  With ``sharing`` (the service's
+        :class:`~repro.serving.sharing.SharedSearchExecutor`), it
+        carries that executor's window/flight/join counters.
+        """
         with self._lock:
             elapsed = max(self._clock() - self._started_at, 1e-9)
             latencies = list(self._latencies)
@@ -128,8 +138,29 @@ class ServiceMetrics:
             snapshot["foreign_calls"] = trace["spans"]
             snapshot["cache_hit_rate"] = trace["hit_rate"]
             snapshot["foreign_cost_seconds"] = trace["cost"]
+        if tenants is not None:
+            snapshot["per_tenant"] = {
+                name: _tenant_attribution(state)
+                for name, state in tenants.items()
+            }
+        if sharing is not None:
+            snapshot["sharing"] = sharing.stats.snapshot()
         snapshot["breaker_states"] = _breaker_states(backend)
         return snapshot
+
+
+def _tenant_attribution(state: Any) -> Dict[str, Any]:
+    """One tenant's cache/sharing attribution for the snapshot."""
+    stats = state.cache_stats
+    ledger = state.ledger
+    return {
+        "cache_hits": stats.hits,
+        "cache_lookups": stats.lookups,
+        "cache_hit_rate": stats.hit_rate,
+        "seconds_saved": ledger.seconds_saved,
+        "seconds_shared": ledger.seconds_shared,
+        "ledger_total": ledger.total,
+    }
 
 
 def _breaker_states(backend: Optional[Any]) -> List[str]:

@@ -33,12 +33,29 @@ class StrideScheduler:
     def __init__(self) -> None:
         self._strides: Dict[str, float] = {}
         self._passes: Dict[str, float] = {}
+        # Solo fast path: while exactly one tenant is eligible, pass
+        # advancement is deferred to a counter and settled lazily — the
+        # single-tenant serving loop skips the dict updates and the
+        # min-scan entirely.  Any operation that observes pass values
+        # flushes first, so the deferral is never visible.
+        self._solo: Optional[str] = None
+        self._solo_pending: int = 0
+
+    def _flush_solo(self) -> None:
+        """Settle deferred solo dispatches into the tenant's pass."""
+        if self._solo is not None and self._solo_pending:
+            self._passes[self._solo] += (
+                self._strides[self._solo] * self._solo_pending
+            )
+        self._solo = None
+        self._solo_pending = 0
 
     def register(self, tenant: str, weight: float) -> None:
         if weight <= 0:
             raise ServingError(f"tenant {tenant!r}: weight must be positive")
         if tenant in self._strides:
             raise ServingError(f"tenant {tenant!r} is already registered")
+        self._flush_solo()
         self._strides[tenant] = STRIDE_UNIT / weight
         # Join at the current minimum: no retroactive credit for the
         # time before registration.
@@ -51,6 +68,7 @@ class StrideScheduler:
         the returning tenant's pass is raised to their minimum, so an
         idle spell buys the very next dispatch at most — never a burst.
         """
+        self._flush_solo()
         floor = min(
             (self._passes[other] for other in busy if other != tenant),
             default=None,
@@ -60,9 +78,27 @@ class StrideScheduler:
 
     def pick(self, eligible: Iterable[str]) -> Optional[str]:
         """The eligible tenant with the smallest pass (name breaks ties)."""
+        tenants = (
+            eligible
+            if isinstance(eligible, (list, tuple))
+            else list(eligible)
+        )
+        if not tenants:
+            # Nothing to do; leave any solo deferral in place so a
+            # momentarily-drained queue does not exit the fast path.
+            return None
+        if len(tenants) == 1:
+            tenant = tenants[0]
+            if tenant != self._solo:
+                if tenant not in self._passes:
+                    raise KeyError(tenant)
+                self._flush_solo()
+                self._solo = tenant
+            return tenant
+        self._flush_solo()
         best: Optional[str] = None
         best_pass = float("inf")
-        for tenant in eligible:
+        for tenant in tenants:
             tenant_pass = self._passes[tenant]
             if tenant_pass < best_pass or (
                 tenant_pass == best_pass and (best is None or tenant < best)
@@ -73,14 +109,20 @@ class StrideScheduler:
 
     def on_dispatch(self, tenant: str) -> None:
         """Advance the tenant's pass by its stride."""
+        if tenant == self._solo:
+            self._solo_pending += 1
+            return
+        self._flush_solo()
         self._passes[tenant] += self._strides[tenant]
 
     def pass_of(self, tenant: str) -> float:
+        self._flush_solo()
         return self._passes[tenant]
 
     def __contains__(self, tenant: str) -> bool:
         return tenant in self._strides
 
     def __repr__(self) -> str:
+        self._flush_solo()
         ranked = sorted(self._passes.items(), key=lambda item: item[1])
         return f"StrideScheduler({ranked})"

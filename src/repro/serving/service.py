@@ -41,6 +41,7 @@ from repro.gateway.tracing import CallTracer
 from repro.textsys.vector import VectorQuery
 from repro.serving.admission import AdmissionQueue
 from repro.serving.metrics import ServiceMetrics
+from repro.serving.sharing import SharedSearchExecutor
 from repro.serving.tenants import TenantSpec, TenantState
 from repro.workload.scenarios import Scenario
 
@@ -120,6 +121,8 @@ class QueryService:
         statistics: Optional[Any] = None,
         vector_backend: Optional[Any] = None,
         vector_constants: Optional[CostConstants] = None,
+        share_window: Optional[float] = None,
+        max_share_batch: int = 16,
     ) -> None:
         if not tenants:
             raise ServingError("a service needs at least one tenant")
@@ -153,6 +156,21 @@ class QueryService:
         self.metrics = ServiceMetrics()
         self.workers = workers
         self._queue = AdmissionQueue(capacity, workers=workers, max_inflight=1)
+        #: Cross-query sharing (ROADMAP item 5): with a ``share_window``
+        #: (seconds; 0 enables single-flight dedupe only), Boolean
+        #: searches from concurrent queries are canonicalized, merged by
+        #: share key, executed once through the backend's
+        #: ``search_batch``, and fanned out — with every tenant still
+        #: charged as if alone (DESIGN invariant 16) and the avoided
+        #: backend work credited to ``ledger.seconds_shared``.
+        self.sharing: Optional[SharedSearchExecutor] = None
+        if share_window is not None:
+            self.sharing = SharedSearchExecutor(
+                self.backend,
+                window_seconds=share_window,
+                max_batch=max_share_batch,
+                inflight_hint=lambda: self._queue.inflight,
+            )
         self._tenants: Dict[str, TenantState] = {}
         for spec in tenants:
             state = TenantState.from_spec(
@@ -282,11 +300,15 @@ class QueryService:
                 ledger=state.vector_ledger,
             )
             return client.search(ticket.query)
+        backend = self.backend
+        if self.sharing is not None:
+            backend = self.sharing.bind(state.spec.name, state.ledger)
         client = TextClient(
-            self.backend,
+            backend,
             cache=self.cache,
             tracer=self.tracer,
             ledger=state.ledger,
+            cache_stats=state.cache_stats,
         )
         context = JoinContext(self.scenario.catalog, client)
         method = ticket.method
@@ -360,6 +382,8 @@ class QueryService:
             inflight=self._queue.inflight,
             tracer=self.tracer,
             backend=self.backend,
+            tenants=self._tenants,
+            sharing=self.sharing,
         )
 
     def __repr__(self) -> str:

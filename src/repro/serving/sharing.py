@@ -1,0 +1,375 @@
+"""Cross-query sharing: windowed multi-query execution with fan-out.
+
+The windowed multi-query optimizer of ROADMAP item 5.  A
+:class:`SharedSearchExecutor` sits between the per-query
+:class:`~repro.gateway.client.TextClient` and the service's backend
+(in-process, batching, remote or sharded).  Every Boolean search a
+worker issues becomes a *flight* keyed by its sharing-safe canonical
+form (:func:`~repro.core.optimizer.multiquery.share_key`):
+
+- a search whose key matches an **in-flight** search joins that flight
+  and waits for its answer instead of dispatching its own (single-flight
+  dedupe, active even with a zero window);
+- with a positive **batch window**, newly created flights collect in the
+  open window; the first creator becomes the window leader, waits until
+  the window expires (or every in-flight query is already waiting, or
+  the window is full), then executes all distinct flights in ONE
+  ``search_batch`` against the inner backend — so shared searches also
+  overlap on the wire through pooled/sharded/remote transports — and
+  fans each answer out to every waiting ticket.
+
+**Charge attribution stays honest** (DESIGN invariant 16): the executor
+returns ordinary :class:`~repro.textsys.result.ResultSet` objects and
+the per-tenant client above it charges them exactly as if the query ran
+alone — sharing never touches any ledger's ``total``.  The real backend
+work avoided (the joined search's full alone-cost, ``c_i + c_p·p +
+c_s·s``) is credited to the joining tenant's ``seconds_shared`` side
+channel, priced with that tenant's own constants.
+
+**Window sizing**: the leader's wait adds up to ``window_seconds`` of
+latency to the queries in the window, in exchange for merging every
+identical search that arrives within it.  The ``inflight_hint`` (the
+service passes its admission queue's in-flight count) closes the window
+early once every executing query is already waiting in it, so a lone
+query never pays the full window.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.core.optimizer.multiquery import share_key
+from repro.errors import ServingError
+from repro.gateway.costs import CostLedger
+from repro.textsys.parser import parse_search
+from repro.textsys.query import SearchNode
+from repro.textsys.result import ResultSet
+
+__all__ = ["SharedSearchExecutor", "SharingStats", "DEFAULT_SHARE_WINDOW"]
+
+#: Default batch window: long enough to merge searches issued by
+#: concurrently running queries, short next to one simulated ``c_i``.
+DEFAULT_SHARE_WINDOW = 0.02
+
+#: Ceiling on how long a joiner waits for another thread's flight
+#: before giving up (a resolved leader always sets the event long
+#: before this; the bound only guards against a leader thread dying).
+_FLIGHT_TIMEOUT = 600.0
+
+
+class _Flight:
+    """One distinct in-flight search and everyone waiting on it."""
+
+    __slots__ = ("key", "query", "event", "result", "error", "participants")
+
+    def __init__(self, key: str, query: Union[SearchNode, str]) -> None:
+        self.key = key
+        self.query = query
+        self.event = threading.Event()
+        self.result: Optional[ResultSet] = None
+        self.error: Optional[BaseException] = None
+        self.participants = 1
+
+    def resolve(self, result: ResultSet) -> None:
+        self.result = result
+        self.event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self.event.set()
+
+    def wait(self) -> ResultSet:
+        if not self.event.wait(_FLIGHT_TIMEOUT):
+            raise ServingError(
+                f"shared flight {self.key!r} unresolved after "
+                f"{_FLIGHT_TIMEOUT}s"
+            )
+        if self.error is not None:
+            raise self.error
+        assert self.result is not None
+        return self.result
+
+
+class _Window:
+    """Flights collected for one batched execution."""
+
+    __slots__ = ("flights", "closed")
+
+    def __init__(self) -> None:
+        self.flights: List[_Flight] = []
+        self.closed = False
+
+    @property
+    def population(self) -> int:
+        return sum(flight.participants for flight in self.flights)
+
+
+class SharingStats:
+    """Thread-safe counters describing what the executor shared."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.windows = 0
+        self.flights = 0
+        self.batched_flights = 0
+        self.shared_searches = 0
+        self.seconds_shared = 0.0
+        self.per_tenant_joins: Dict[str, int] = {}
+        self.per_tenant_seconds: Dict[str, float] = {}
+
+    def on_window(self, flight_count: int) -> None:
+        with self._lock:
+            self.windows += 1
+            self.flights += flight_count
+            if flight_count > 1:
+                self.batched_flights += flight_count
+
+    def on_join(self, tenant: str, seconds: float) -> None:
+        with self._lock:
+            self.shared_searches += 1
+            self.seconds_shared += seconds
+            self.per_tenant_joins[tenant] = (
+                self.per_tenant_joins.get(tenant, 0) + 1
+            )
+            self.per_tenant_seconds[tenant] = (
+                self.per_tenant_seconds.get(tenant, 0.0) + seconds
+            )
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "windows": self.windows,
+                "flights": self.flights,
+                "batched_flights": self.batched_flights,
+                "shared_searches": self.shared_searches,
+                "seconds_shared": self.seconds_shared,
+                "per_tenant_joins": dict(self.per_tenant_joins),
+                "per_tenant_seconds": dict(self.per_tenant_seconds),
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"SharingStats({self.shared_searches} shared, "
+            f"{self.seconds_shared:.1f}s side-channel)"
+        )
+
+
+class SharedSearchExecutor:
+    """Windowed cross-tenant search sharing over one inner backend.
+
+    Construct one per service and :meth:`bind` a facade per query —
+    the facade carries the tenant name and ledger so joins can credit
+    the right ``seconds_shared`` side channel.  Everything except
+    ``search``/``search_batch`` passes straight through to the inner
+    backend, so retrievals, transport accounting, counters and meta
+    information behave exactly as without sharing.
+    """
+
+    def __init__(
+        self,
+        inner: Any,
+        window_seconds: float = DEFAULT_SHARE_WINDOW,
+        max_batch: int = 16,
+        inflight_hint: Optional[Callable[[], int]] = None,
+        stats: Optional[SharingStats] = None,
+    ) -> None:
+        if window_seconds < 0:
+            raise ServingError("the batch window must be non-negative")
+        if max_batch < 1:
+            raise ServingError("a window must hold at least one flight")
+        self.inner = inner
+        self.window_seconds = window_seconds
+        self.max_batch = max_batch
+        self.stats = stats if stats is not None else SharingStats()
+        self._inflight_hint = inflight_hint
+        self._condition = threading.Condition()
+        self._flights: Dict[str, _Flight] = {}
+        self._window: Optional[_Window] = None
+
+    def bind(self, tenant: str, ledger: CostLedger) -> "_SharingBackend":
+        """A per-query backend facade charging ``tenant``'s side channel."""
+        return _SharingBackend(self, tenant, ledger)
+
+    # ------------------------------------------------------------------
+    # the submission path (called by the facade)
+    # ------------------------------------------------------------------
+    def submit(
+        self, query: Union[SearchNode, str], tenant: str, ledger: CostLedger
+    ) -> ResultSet:
+        """One search through the sharing machinery."""
+        return self.submit_many(
+            [query], tenant, ledger, include_invocation=True
+        )[0]
+
+    def submit_many(
+        self,
+        queries: List[Union[SearchNode, str]],
+        tenant: str,
+        ledger: CostLedger,
+        include_invocation: bool = False,
+    ) -> List[ResultSet]:
+        """Many searches through the sharing machinery, registered at once.
+
+        All flights are created (or joined) under one lock hold before
+        anything waits, so a client batch's searches share one window
+        instead of paying a window wait each.  ``include_invocation``
+        adds ``c_i`` to the join credit — True for standalone searches
+        (alone, each pays its own invocation), False for searches inside
+        a client ``search_batch`` (the batch pays one ``c_i`` whether or
+        not anything was shared).
+        """
+        entries: List[tuple] = []  # (flight, joined)
+        created: List[_Flight] = []
+        window_leader = False
+        window: Optional[_Window] = None
+        with self._condition:
+            for query in queries:
+                key = share_key(query)
+                flight = self._flights.get(key)
+                if flight is not None:
+                    flight.participants += 1
+                    entries.append((flight, True))
+                    continue
+                flight = _Flight(key, query)
+                self._flights[key] = flight
+                created.append(flight)
+                entries.append((flight, False))
+                if self.window_seconds > 0:
+                    if self._window is None or self._window.closed:
+                        self._window = _Window()
+                        window_leader = True
+                    window = self._window
+                    window.flights.append(flight)
+            self._condition.notify_all()
+        if window_leader:
+            assert window is not None
+            self._lead_window(window)
+        elif window is None and created:
+            # Zero window: dispatch our own flights immediately
+            # (single-flight dedupe still applies to the joins above).
+            self._execute(created)
+        # A non-leader creator inside someone else's open window waits:
+        # that window's leader executes the flight when it closes.
+        results: List[ResultSet] = []
+        for flight, joined in entries:
+            result = flight.wait()
+            if joined:
+                constants = ledger.constants
+                shared = (
+                    constants.per_posting * result.postings_processed
+                    + constants.short_form * len(result)
+                )
+                if include_invocation:
+                    shared += constants.invocation
+                ledger.credit_shared(shared)
+                self.stats.on_join(tenant, shared)
+            results.append(result)
+        return results
+
+    # ------------------------------------------------------------------
+    # window leadership
+    # ------------------------------------------------------------------
+    def _lead_window(self, window: _Window) -> None:
+        deadline = time.monotonic() + self.window_seconds
+        with self._condition:
+            while True:
+                if len(window.flights) >= self.max_batch:
+                    break
+                # Calling the hint under our lock is safe: admission
+                # code never calls back into the executor, so the
+                # executor-lock -> admission-lock order is one-way.
+                hint = (
+                    self._inflight_hint()
+                    if self._inflight_hint is not None
+                    else None
+                )
+                if hint is not None and window.population >= hint:
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._condition.wait(remaining)
+            window.closed = True
+            flights = list(window.flights)
+            if self._window is window:
+                self._window = None
+        self._execute(flights)
+
+    # ------------------------------------------------------------------
+    # execution and fan-out
+    # ------------------------------------------------------------------
+    def _execute(self, flights: List[_Flight]) -> None:
+        queries = [flight.query for flight in flights]
+        try:
+            results = self._dispatch(queries)
+        except BaseException as error:  # noqa: BLE001 — fan the failure out
+            with self._condition:
+                for flight in flights:
+                    self._flights.pop(flight.key, None)
+            for flight in flights:
+                flight.fail(error)
+            raise
+        self.stats.on_window(len(flights))
+        with self._condition:
+            for flight in flights:
+                self._flights.pop(flight.key, None)
+        for flight, result in zip(flights, results):
+            flight.resolve(result)
+
+    def _dispatch(self, queries: List[Union[SearchNode, str]]) -> List[ResultSet]:
+        if len(queries) == 1:
+            return [self.inner.search(queries[0])]
+        search_batch = getattr(self.inner, "search_batch", None)
+        if search_batch is None:
+            return [self.inner.search(query) for query in queries]
+        limit = getattr(self.inner, "batch_limit", None) or len(queries)
+        results: List[ResultSet] = []
+        for start in range(0, len(queries), limit):
+            results.extend(search_batch(queries[start : start + limit]))
+        return results
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedSearchExecutor(window={self.window_seconds * 1000:.0f}ms, "
+            f"max_batch={self.max_batch}, {self.stats!r})"
+        )
+
+
+class _SharingBackend:
+    """A per-query backend facade routing searches through the executor.
+
+    Looks like a text server to the :class:`TextClient` above it:
+    ``search``/``search_batch`` go through the sharing machinery, and
+    everything else (retrieve, counters, ``data_fingerprint``,
+    ``drain_accounting``, ...) delegates to the inner backend untouched.
+    """
+
+    def __init__(
+        self, executor: SharedSearchExecutor, tenant: str, ledger: CostLedger
+    ) -> None:
+        self._executor = executor
+        self._tenant = tenant
+        self._ledger = ledger
+
+    def search(self, query: Union[SearchNode, str]) -> ResultSet:
+        return self._executor.submit(query, self._tenant, self._ledger)
+
+    def search_batch(
+        self, queries: List[Union[SearchNode, str]]
+    ) -> List[ResultSet]:
+        # Parsing up front keeps share keys cheap under the executor
+        # lock; submit_many registers every flight before waiting on
+        # any, so the batch shares one window.
+        parsed = [
+            parse_search(query) if isinstance(query, str) else query
+            for query in queries
+        ]
+        return self._executor.submit_many(parsed, self._tenant, self._ledger)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._executor.inner, name)
+
+    def __repr__(self) -> str:
+        return f"_SharingBackend({self._tenant!r} over {self._executor!r})"

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import BudgetExceededError, QuotaExceededError, ServingError
+from repro.gateway.cache import CacheStats
 from repro.gateway.costs import CostConstants, CostLedger
 
 __all__ = ["TenantSpec", "BudgetedCostLedger", "TenantState"]
@@ -123,6 +124,12 @@ class TenantState:
     #: ranked-search spend, priced with the *vector* backend's constants
     #: and budgeted independently (invariant 15 at tenant granularity).
     vector_ledger: Optional[BudgetedCostLedger] = None
+    #: Per-tenant view of the *shared* gateway cache: every query the
+    #: service runs for this tenant notes its lookups here, so the
+    #: metrics snapshot can report hit rates per tenant, not just
+    #: service-wide.  Single-writer by construction — the admission
+    #: queue caps each tenant at one in-flight query.
+    cache_stats: CacheStats = field(default_factory=CacheStats)
     admitted: int = 0
     completed: int = 0
     failed: int = 0
@@ -221,7 +228,9 @@ class TenantState:
             "ledger_total": ledger.total,
             "searches": ledger.searches,
             "seconds_saved": ledger.seconds_saved,
+            "seconds_shared": ledger.seconds_shared,
             "seconds_retried": ledger.seconds_retried,
+            "cache_hit_rate": self.cache_stats.hit_rate,
         }
         if self.vector_ledger is not None:
             report["vector_total"] = self.vector_ledger.total

@@ -1,0 +1,224 @@
+"""Cross-ticket single-flight on the shared gateway cache.
+
+The bug this guards against: two tenants submit byte-identical queries
+with a shared :class:`GatewayCache`, both miss (the entry is not filled
+yet), and both dispatch the search to the text server — the cache
+deduplicates *storage* but not *in-flight work*.  The fix is an
+in-flight fill map (:meth:`GatewayCache.claim_search_fill` /
+:meth:`publish_search_fill`): the first misser becomes the fill leader,
+later missers wait on its :class:`PendingFill` and are accounted as
+cache hits.
+
+The stress tests run with ``sys.setswitchinterval(1e-6)`` and a slow
+server so that, without the in-flight map, every thread reliably
+misses before the first fill lands — they fail on the pre-fix client.
+"""
+
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.errors import GatewayError
+from repro.gateway.cache import GatewayCache, PendingFill
+from repro.gateway.client import TextClient
+from repro.textsys.batching import BatchingTextServer
+
+
+class SlowCountingServer:
+    """Delegating server wrapper: counts searches, sleeps before each.
+
+    The sleep widens the miss window: with N threads released by a
+    barrier, all N observe an empty cache before any fill completes, so
+    without single-flight the server sees N searches.
+    """
+
+    def __init__(self, inner, delay=0.02, fail_first=0):
+        self._inner = inner
+        self._delay = delay
+        self._lock = threading.Lock()
+        self.searches = 0
+        self.batch_queries = 0
+        self._failures_left = fail_first
+
+    def _enter(self, queries=1):
+        with self._lock:
+            self.searches += 1
+            self.batch_queries += queries
+            fail = self._failures_left > 0
+            if fail:
+                self._failures_left -= 1
+        time.sleep(self._delay)
+        if fail:
+            raise GatewayError("injected transient search failure")
+
+    def search(self, query):
+        self._enter()
+        return self._inner.search(query)
+
+    def search_batch(self, queries):
+        self._enter(len(queries))
+        return [self._inner.search(query) for query in queries]
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+@pytest.fixture
+def switch_fast():
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-6)
+    yield
+    sys.setswitchinterval(previous)
+
+
+def _run_threads(count, target):
+    barrier = threading.Barrier(count)
+    errors = []
+    results = []
+
+    def runner():
+        barrier.wait()
+        try:
+            results.append(target())
+        except Exception as error:  # noqa: BLE001 - collected for asserts
+            errors.append(error)
+
+    threads = [threading.Thread(target=runner) for _ in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results, errors
+
+
+class TestSingleFlightSearch:
+    THREADS = 8
+
+    def test_identical_concurrent_searches_dispatch_once(
+        self, tiny_server, switch_fast
+    ):
+        server = SlowCountingServer(tiny_server)
+        cache = GatewayCache()
+        clients = [
+            TextClient(server, cache=cache) for _ in range(self.THREADS)
+        ]
+        iterator = iter(clients)
+
+        def submit():
+            client = next(iterator)
+            return client.search("TI='belief'")
+
+        results, errors = _run_threads(self.THREADS, submit)
+        assert not errors
+        assert server.searches == 1  # pre-fix: == THREADS
+        docids = {tuple(result.docids) for result in results}
+        assert len(docids) == 1
+
+        # Exactly one ledger paid; every waiter was credited the full
+        # avoided search cost, same as a cache hit.
+        paid = [c for c in clients if c.ledger.total > 0]
+        waited = [c for c in clients if c.ledger.total == 0]
+        assert len(paid) == 1
+        assert len(waited) == self.THREADS - 1
+        for client in waited:
+            assert client.ledger.seconds_saved == pytest.approx(
+                paid[0].ledger.total
+            )
+        # Late arrivals may find the filled LRU entry instead of the
+        # pending fill, so coalesced can undershoot THREADS - 1; the
+        # barrier plus the slow server make at least one certain.
+        assert cache.stats()["coalesced"] >= 1
+
+    def test_waiters_fall_back_when_leader_fails(
+        self, tiny_server, switch_fast
+    ):
+        server = SlowCountingServer(tiny_server, fail_first=1)
+        cache = GatewayCache()
+        clients = [
+            TextClient(server, cache=cache) for _ in range(self.THREADS)
+        ]
+        iterator = iter(clients)
+
+        def submit():
+            client = next(iterator)
+            return client.search("TI='belief'")
+
+        results, errors = _run_threads(self.THREADS, submit)
+        # The leader's dispatch failed; it published None and every
+        # waiter fell back to its own dispatch rather than stalling.
+        assert len(errors) == 1
+        assert len(results) == self.THREADS - 1
+        assert server.searches >= 2
+        docids = {tuple(result.docids) for result in results}
+        assert len(docids) == 1
+
+    def test_batch_misses_coalesce_across_tickets(
+        self, tiny_server, switch_fast
+    ):
+        server = SlowCountingServer(BatchingTextServer(tiny_server))
+        cache = GatewayCache()
+        clients = [
+            TextClient(server, cache=cache) for _ in range(self.THREADS)
+        ]
+        iterator = iter(clients)
+        queries = ["TI='belief'", "AB='retrieval'"]
+
+        def submit():
+            client = next(iterator)
+            return client.search_batch(list(queries))
+
+        results, errors = _run_threads(self.THREADS, submit)
+        assert not errors
+        # Each distinct expression travelled once, in one invocation.
+        assert server.searches == 1
+        assert server.batch_queries == len(queries)
+        for batch in results:
+            assert len(batch) == len(queries)
+        # Everyone agrees on the answers.
+        first = results[0]
+        for batch in results[1:]:
+            for mine, theirs in zip(batch, first):
+                assert tuple(mine.docids) == tuple(theirs.docids)
+        # Coalesced tickets were credited like hits (no charge, full
+        # batch cost saved including the invocation they skipped).
+        paid = [c for c in clients if c.ledger.total > 0]
+        waited = [c for c in clients if c.ledger.total == 0]
+        assert len(paid) == 1
+        for client in waited:
+            assert client.ledger.seconds_saved == pytest.approx(
+                paid[0].ledger.total
+            )
+
+
+class TestPendingFill:
+    def test_pre_resolved_fill_returns_immediately(self, tiny_server):
+        client = TextClient(tiny_server, cache=GatewayCache())
+        result = client.search("TI='belief'")
+        fill = PendingFill(result)
+        assert fill.wait(0.0) is result
+
+    def test_claim_after_fill_sees_the_cached_entry(self, tiny_server):
+        cache = GatewayCache()
+        client = TextClient(tiny_server, cache=cache)
+        result = client.search("TI='belief'")
+        expression = "title='belief'"
+        fill = cache.claim_search_fill(expression)
+        assert fill is not None  # resolved, not a leadership claim
+        assert fill.wait(0.0).docids == result.docids
+
+    def test_publish_on_moved_version_resolves_none(self, tiny_server):
+        cache = GatewayCache()
+        client = TextClient(tiny_server, cache=cache)
+        expression = "title='belief'"
+        assert cache.claim_search_fill(expression) is None  # leader
+        result = client.search("AB='retrieval'")  # any real ResultSet
+        cache.publish_search_fill(expression, result, object())
+        # Stale fills resolve None: waiters re-dispatch, never consume
+        # results from a different data version.
+        pending = cache.claim_search_fill(expression)
+        assert pending is None or pending.wait(0.0) is None
+
+    def test_wait_times_out_to_none(self):
+        assert PendingFill().wait(0.0) is None

@@ -80,3 +80,72 @@ def test_register_rejects_bad_input():
         scheduler.register("a", 2.0)
     with pytest.raises(ServingError):
         scheduler.register("b", 0.0)
+
+
+class TestSoloFastPath:
+    """Deferred pass accumulation while one tenant is alone must be
+    invisible: every observable (pass_of, fairness after a second tenant
+    appears, reactivation floors) matches the always-eager behavior."""
+
+    def test_solo_dispatches_settle_into_pass(self):
+        scheduler = StrideScheduler()
+        scheduler.register("solo", 2.0)
+        for _ in range(10):
+            assert scheduler.pick(["solo"]) == "solo"
+            scheduler.on_dispatch("solo")
+        from repro.serving.scheduler import STRIDE_UNIT
+
+        assert scheduler.pass_of("solo") == pytest.approx(
+            10 * STRIDE_UNIT / 2.0
+        )
+
+    def test_empty_pick_does_not_break_the_fast_path(self):
+        scheduler = StrideScheduler()
+        scheduler.register("solo", 1.0)
+        scheduler.pick(["solo"])
+        scheduler.on_dispatch("solo")
+        assert scheduler.pick([]) is None  # queue momentarily drained
+        scheduler.pick(["solo"])
+        scheduler.on_dispatch("solo")
+        assert scheduler.pass_of("solo") > 0
+
+    def test_fairness_preserved_after_solo_burst(self):
+        """A long solo run, then a second tenant arrives: the newcomer
+        joins at the floor and the pair shares — identical to a
+        scheduler that never deferred."""
+        fast = StrideScheduler()
+        fast.register("a", 1.0)
+        for _ in range(1000):
+            fast.pick(["a"])
+            fast.on_dispatch("a")
+        fast.register("b", 1.0)
+        counts = drive(fast, ["a", "b"], 40)
+        assert counts["b"] >= counts["a"]
+        assert counts["b"] - counts["a"] <= 2
+
+    def test_reactivation_flushes_solo_credit(self):
+        scheduler = StrideScheduler()
+        scheduler.register("busy", 1.0)
+        scheduler.register("idler", 1.0)
+        for _ in range(50):
+            scheduler.pick(["busy"])  # solo mode: idler has nothing queued
+            scheduler.on_dispatch("busy")
+        scheduler.reactivate("idler", busy=["busy"])
+        counts = drive(scheduler, ["busy", "idler"], 20)
+        assert counts == {"busy": 10, "idler": 10}
+
+    def test_pick_of_unknown_solo_tenant_raises(self):
+        scheduler = StrideScheduler()
+        scheduler.register("a", 1.0)
+        with pytest.raises(KeyError):
+            scheduler.pick(["ghost"])
+
+    def test_switching_solo_tenants_settles_the_first(self):
+        scheduler = StrideScheduler()
+        scheduler.register("a", 1.0)
+        scheduler.register("b", 1.0)
+        scheduler.pick(["a"])
+        scheduler.on_dispatch("a")
+        scheduler.pick(["b"])  # different solo tenant: a's deferral lands
+        scheduler.on_dispatch("b")
+        assert scheduler.pass_of("a") == scheduler.pass_of("b")
